@@ -1,0 +1,75 @@
+// Ablation A4 (§4.5): the blocking push "suffers from severe scalability
+// issues, since the response time for write operations is proportional to
+// the number of individual fine-grained updates triggered by a single
+// façade call" — and, in our sequential-push implementation, to the number
+// of edge replicas. Asynchronous propagation is flat in both dimensions.
+#include <iostream>
+
+#include "bench/mini_world.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace mutsvc;
+using comp::CallContext;
+using comp::Feature;
+using sim::Task;
+
+/// A façade write that updates `k` items in one transaction — the Commit
+/// Order page writing the Inventory EJB once per cart line item.
+void define_writer(bench::MiniWorld& w) {
+  auto& writer = w.app.define("Writer", comp::ComponentKind::kStatelessSessionBean);
+  writer.method({.name = "commit",
+                 .cpu = sim::Duration::zero(),
+                 .body = [](CallContext& ctx) -> Task<void> {
+                   const std::int64_t k = ctx.arg_int(0);
+                   for (std::int64_t i = 0; i < k; ++i) {
+                     co_await ctx.write_entity("Item", i, "qty", std::int64_t{1});
+                   }
+                 }});
+}
+
+double commit_latency(int edge_count, std::int64_t updates, bool async) {
+  bench::MiniWorld w{edge_count};
+  define_writer(w);
+  auto plan = w.base_plan();
+  plan.enable(Feature::kStatefulComponentCaching);
+  plan.enable(Feature::kStubCaching);
+  if (async) plan.enable(Feature::kAsyncUpdates);
+  for (auto e : w.edges) plan.replicate_read_only("Item", e);
+  auto& rt = w.start(std::move(plan));
+  return w.timed([](comp::Runtime& rt, bench::MiniWorld& w, std::int64_t k) -> Task<void> {
+    (void)co_await rt.invoke(w.main, "Writer", "commit", k);
+  }(rt, w, updates));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation A4: write latency scaling — blocking push vs async (§4.5) ===\n\n";
+
+  std::cout << "Sweep 1: one update per transaction, growing edge replica count\n";
+  mutsvc::stats::TextTable t1{{"edge replicas", "blocking push (ms)", "async publish (ms)"}};
+  for (int edges : {1, 2, 4, 8}) {
+    t1.add_row({std::to_string(edges),
+                mutsvc::stats::TextTable::cell_fixed(commit_latency(edges, 1, false), 0),
+                mutsvc::stats::TextTable::cell_fixed(commit_latency(edges, 1, true), 0)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\nSweep 2: two edges, growing line items per Commit Order transaction\n";
+  mutsvc::stats::TextTable t2{{"updates per tx", "blocking push (ms)", "async publish (ms)"}};
+  for (std::int64_t k : {1, 2, 5, 10}) {
+    t2.add_row({std::to_string(k),
+                mutsvc::stats::TextTable::cell_fixed(commit_latency(2, k, false), 0),
+                mutsvc::stats::TextTable::cell_fixed(commit_latency(2, k, true), 0)});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nBlocking-push latency grows with the replica fan-out; asynchronous\n"
+            << "updates keep the writer at local latency regardless ('its scalability\n"
+            << "is limited only by the messaging middleware', §4.5). Updates within one\n"
+            << "transaction ride a single bulk batch, so per-tx update count affects\n"
+            << "neither variant's wide-area cost.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation A6 (§1's availability motivation): "client requests can utilize
+// several entry points into the service". Crashes one edge server for the
+// middle third of a Pet Store run and compares: no failure, failure with
+// entry-point failover to the main server, failure without failover.
+#include <iostream>
+#include <vector>
+
+#include "apps/petstore/petstore.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace mutsvc;
+
+namespace {
+
+struct Outcome {
+  double remote_browser_ms = 0.0;
+  std::uint64_t failovers = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t jms_retries = 0;
+};
+
+Outcome run(bool inject_failure, bool failover, std::vector<double>* series = nullptr) {
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.level = core::ConfigLevel::kAsyncUpdates;
+  spec.duration = sim::sec(1800);
+  spec.warmup = sim::sec(120);
+  spec.failover_enabled = failover;
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  if (series != nullptr) exp.enable_timeseries(sim::sec(120));
+
+  if (inject_failure) {
+    net::Topology& topo = exp.network().topology();
+    const net::NodeId edge = exp.nodes().edge_servers[0];
+    exp.simulator().schedule_at(sim::SimTime::origin() + sim::sec(600),
+                                [&topo, edge] { topo.set_node_state(edge, false); });
+    exp.simulator().schedule_at(sim::SimTime::origin() + sim::sec(1200),
+                                [&topo, edge] { topo.set_node_state(edge, true); });
+  }
+  exp.run();
+
+  Outcome out;
+  out.remote_browser_ms =
+      exp.results().pattern_mean_ms("Browser", stats::ClientGroup::kRemote);
+  out.failovers = exp.failovers();
+  out.dropped = exp.dropped_requests();
+  if (exp.runtime().update_topic() != nullptr) {
+    out.jms_retries = exp.runtime().update_topic()->delivery_retries();
+  }
+  if (series != nullptr) {
+    const stats::TimeSeries* ts = exp.results().timeseries(stats::ClientGroup::kRemote);
+    if (ts != nullptr) *series = ts->window_means();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation A6: edge-server failure and entry-point failover ===\n"
+            << "(Pet Store, async-updates configuration; edge-as-1 is down for the\n"
+            << " middle 10 minutes of a 30-minute run)\n\n";
+
+  Outcome healthy = run(false, true);
+  std::vector<double> timeline;
+  Outcome with_failover = run(true, true, &timeline);
+  Outcome without_failover = run(true, false);
+
+  stats::TextTable table{{"scenario", "remote browser mean (ms)", "failovers",
+                          "dropped requests", "JMS redelivery retries"}};
+  auto row = [&](const char* name, const Outcome& o) {
+    table.add_row({name, stats::TextTable::cell_ms(o.remote_browser_ms),
+                   std::to_string(o.failovers), std::to_string(o.dropped),
+                   std::to_string(o.jms_retries)});
+  };
+  row("no failure", healthy);
+  row("edge crash, failover on", with_failover);
+  row("edge crash, failover off", without_failover);
+  table.print(std::cout);
+
+  std::cout << "\nRemote-group mean per 2-minute window (failover run; the outage spans\n"
+            << "minutes 10-20, and the affected group's means include the 2s connect\n"
+            << "timeouts its requests pay before failing over):\n  ";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    std::cout << "[" << i * 2 << "m] " << stats::TextTable::cell_ms(timeline[i]) << "  ";
+  }
+  std::cout << "\n";
+
+  std::cout << "\nWith failover, the affected client group degrades to centralized-like\n"
+            << "latency during the outage but loses no requests; without it, every\n"
+            << "request of that group is dropped for ten minutes. The JMS provider\n"
+            << "queues updates for the dead edge and redelivers on recovery —\n"
+            << "the replicas converge instead of serving stale state forever.\n";
+  return 0;
+}

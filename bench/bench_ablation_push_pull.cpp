@@ -1,0 +1,172 @@
+// Ablation A3 (§4.3): pull- vs push-based refresh of read-only entity
+// beans. After an invalidating write, a pull-refreshed replica pays one
+// wide-area round trip on the first read; a pushed replica answers locally
+// ("clients of read-only beans will always have local response times").
+#include <iostream>
+
+#include "bench/mini_world.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace mutsvc;
+using comp::CallContext;
+using comp::Feature;
+using sim::Task;
+
+void define_components(bench::MiniWorld& w) {
+  auto& reader = w.app.define("Reader", comp::ComponentKind::kStatelessSessionBean);
+  reader.method({.name = "get",
+                 .cpu = sim::Duration::zero(),
+                 .body = [](CallContext& ctx) -> Task<void> {
+                   auto row = co_await ctx.read_entity("Item", ctx.arg_int(0));
+                   if (row) ctx.result.push_back(*row);
+                 }});
+  auto& writer = w.app.define("Writer", comp::ComponentKind::kStatelessSessionBean);
+  writer.method({.name = "set",
+                 .cpu = sim::Duration::zero(),
+                 .body = [](CallContext& ctx) -> Task<void> {
+                   co_await ctx.write_entity("Item", ctx.arg_int(0), "qty", ctx.arg(1));
+                 }});
+}
+
+struct Outcome {
+  double writer_ms = 0.0;
+  double first_read_ms = 0.0;
+  double steady_read_ms = 0.0;
+};
+
+/// Push variant: blocking push keeps the replica warm.
+Outcome run_push() {
+  bench::MiniWorld w{2};
+  define_components(w);
+  auto plan = w.base_plan();
+  plan.enable(Feature::kStatefulComponentCaching);
+  plan.enable(Feature::kStubCaching);
+  for (auto e : w.edges) {
+    plan.replicate_read_only("Item", e);
+    plan.place("Reader", e);
+  }
+  auto& rt = w.start(std::move(plan));
+
+  Outcome out;
+  // Warm the replica, write (which pushes), then read.
+  (void)w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    (void)co_await rt.invoke(w.edges[0], "Reader", "get", std::int64_t{7});
+  }(rt, w));
+  out.writer_ms = w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    (void)co_await rt.invoke(w.main, "Writer", "set", std::int64_t{7}, std::int64_t{999});
+  }(rt, w));
+  out.first_read_ms = w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    (void)co_await rt.invoke(w.edges[0], "Reader", "get", std::int64_t{7});
+  }(rt, w));
+  out.steady_read_ms = out.first_read_ms;
+  return out;
+}
+
+/// Pull variant: model the common vendor approach — the write only
+/// invalidates (cheap), and the replica re-fetches on the next read. We
+/// emulate it by invalidating the replica directly, since the runtime's
+/// write path implements the paper's preferred push protocol.
+Outcome run_pull() {
+  bench::MiniWorld w{2};
+  define_components(w);
+  auto plan = w.base_plan();
+  plan.enable(Feature::kStatefulComponentCaching);
+  plan.enable(Feature::kStubCaching);
+  for (auto e : w.edges) {
+    plan.replicate_read_only("Item", e);
+    plan.place("Reader", e);
+  }
+  auto& rt = w.start(std::move(plan));
+
+  Outcome out;
+  (void)w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    (void)co_await rt.invoke(w.edges[0], "Reader", "get", std::int64_t{7});
+  }(rt, w));
+  // Invalidation-only write: update the DB and drop replica entries — the
+  // invalidation RMI still costs the writer one (cheap, parallelizable)
+  // notification; we charge the write itself only.
+  out.writer_ms = w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    w.database->execute_immediate(db::Query::update("item", 7, "qty", std::int64_t{999}));
+    for (auto e : w.edges) rt.ro_cache(e, "Item").invalidate(7);
+    co_return;
+  }(rt, w));
+  out.first_read_ms = w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    (void)co_await rt.invoke(w.edges[0], "Reader", "get", std::int64_t{7});
+  }(rt, w));
+  out.steady_read_ms = w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    (void)co_await rt.invoke(w.edges[0], "Reader", "get", std::int64_t{7});
+  }(rt, w));
+  return out;
+}
+
+/// Vendor-default variant: timeout invalidation. No update coordination at
+/// all — replicas simply expire and re-pull, paying a WAN trip per entry
+/// per TTL window, and serving stale data inside the window.
+Outcome run_ttl() {
+  bench::MiniWorld w{2};
+  define_components(w);
+  auto plan = w.base_plan();
+  plan.enable(Feature::kStatefulComponentCaching);
+  plan.enable(Feature::kStubCaching);
+  for (auto e : w.edges) {
+    plan.replicate_read_only("Item", e);
+    plan.place("Reader", e);
+  }
+  comp::RuntimeConfig cfg;
+  cfg.ro_ttl = sim::sec(30);
+  auto& rt = w.start(std::move(plan), cfg);
+
+  Outcome out;
+  (void)w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    (void)co_await rt.invoke(w.edges[0], "Reader", "get", std::int64_t{7});
+  }(rt, w));
+  out.writer_ms = w.timed([](bench::MiniWorld& w) -> Task<void> {
+    w.database->execute_immediate(db::Query::update("item", 7, "qty", std::int64_t{999}));
+    co_return;  // no invalidation traffic at all
+  }(w));
+  // A read inside the TTL window serves (stale) local data...
+  out.steady_read_ms = w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    (void)co_await rt.invoke(w.edges[0], "Reader", "get", std::int64_t{7});
+  }(rt, w));
+  // ...and the first read past expiry re-pulls across the WAN.
+  w.sim.run_for(sim::sec(31));
+  out.first_read_ms = w.timed([](comp::Runtime& rt, bench::MiniWorld& w) -> Task<void> {
+    (void)co_await rt.invoke(w.edges[0], "Reader", "get", std::int64_t{7});
+  }(rt, w));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation A3: pull vs push refresh of read-only beans (§4.3) ===\n"
+            << "(2 edge replicas, 100 ms one-way WAN)\n\n";
+
+  Outcome ttl = run_ttl();
+  Outcome pull = run_pull();
+  Outcome push = run_push();
+
+  mutsvc::stats::TextTable table{
+      {"protocol", "writer commit (ms)", "first read after write (ms)", "steady read (ms)"}};
+  table.add_row({"timeout invalidation (30s TTL)",
+                 mutsvc::stats::TextTable::cell_fixed(ttl.writer_ms, 1),
+                 mutsvc::stats::TextTable::cell_fixed(ttl.first_read_ms, 1) + " (stale until expiry)",
+                 mutsvc::stats::TextTable::cell_fixed(ttl.steady_read_ms, 1)});
+  table.add_row({"pull (invalidate, refetch on demand)",
+                 mutsvc::stats::TextTable::cell_fixed(pull.writer_ms, 1),
+                 mutsvc::stats::TextTable::cell_fixed(pull.first_read_ms, 1),
+                 mutsvc::stats::TextTable::cell_fixed(pull.steady_read_ms, 1)});
+  table.add_row({"push (blocking, state rides the call)",
+                 mutsvc::stats::TextTable::cell_fixed(push.writer_ms, 1),
+                 mutsvc::stats::TextTable::cell_fixed(push.first_read_ms, 1),
+                 mutsvc::stats::TextTable::cell_fixed(push.steady_read_ms, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nPull penalizes the first reader with a WAN round trip; push moves the\n"
+            << "cost to the writer ('a small price to pay for significantly improving\n"
+            << "the response time of remote clients', §4.3). §4.5 then removes the\n"
+            << "writer's cost too (see bench_ablation_async_scaling).\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Breakdown B1: where the milliseconds go. Issues single traced requests
+// (no background load) for three emblematic Pet Store pages under each
+// configuration and prints the per-category time decomposition — the
+// quantitative version of the paper's §4 narrative.
+#include <iostream>
+
+#include "apps/petstore/petstore.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace mutsvc;
+
+namespace {
+
+workload::PageRequest make_request(const char* page, const char* pattern, const char* method,
+                                   std::vector<db::Value> args) {
+  workload::PageRequest req;
+  req.page = page;
+  req.pattern = pattern;
+  req.component = "PetStoreWeb";
+  req.method = method;
+  req.args = std::move(args);
+  return req;
+}
+
+void breakdown_for(core::ConfigLevel level) {
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.level = level;
+  spec.duration = sim::sec(1);  // no background load; we drive requests by hand
+  spec.warmup = sim::Duration::zero();
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+
+  const net::NodeId remote = exp.nodes().remote_clients[0];
+  const std::vector<workload::PageRequest> pages = {
+      make_request("Item", "Browser", "item", {db::Value{std::int64_t{1001001}}}),
+      make_request("Category", "Browser", "category", {db::Value{std::int64_t{1}}}),
+      make_request("Commit Order", "Buyer", "commitorder",
+                   {db::Value{std::int64_t{1}}, db::Value{std::int64_t{1001001}}}),
+  };
+
+  std::cout << "--- " << core::to_string(level) << " (remote client, warm caches) ---\n";
+  stats::TextTable table{{"page", "total", "http", "queue", "cpu", "container", "cache",
+                          "jdbc", "rmi", "stub", "lock", "push", "publish"}};
+
+  for (const auto& req : pages) {
+    // Warm pass fills replicas/caches and stubs; the second pass is traced.
+    exp.simulator().spawn([](core::Experiment& e, net::NodeId c,
+                             const workload::PageRequest& r) -> sim::Task<void> {
+      comp::TraceSink warm;
+      co_await e.execute_traced(c, r, warm);
+    }(exp, remote, req));
+    exp.simulator().run_until();
+
+    comp::TraceSink sink;
+    exp.simulator().spawn([](core::Experiment& e, net::NodeId c,
+                             const workload::PageRequest& r,
+                             comp::TraceSink& s) -> sim::Task<void> {
+      co_await e.execute_traced(c, r, s);
+    }(exp, remote, req, sink));
+    exp.simulator().run_until();
+
+    auto cell = [&](comp::SpanKind k) {
+      return stats::TextTable::cell_fixed(sink.total(k).as_millis(), 1);
+    };
+    table.add_row({req.page, stats::TextTable::cell_fixed(sink.sum().as_millis(), 1),
+                   cell(comp::SpanKind::kHttpWire), cell(comp::SpanKind::kQueueing),
+                   cell(comp::SpanKind::kCpu), cell(comp::SpanKind::kLatency),
+                   cell(comp::SpanKind::kCacheRead), cell(comp::SpanKind::kJdbc),
+                   cell(comp::SpanKind::kRmiWire), cell(comp::SpanKind::kStub),
+                   cell(comp::SpanKind::kLockWait), cell(comp::SpanKind::kPush),
+                   cell(comp::SpanKind::kPublish)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Breakdown B1: per-category time decomposition (ms), Pet Store ===\n\n";
+  for (core::ConfigLevel level :
+       {core::ConfigLevel::kCentralized, core::ConfigLevel::kRemoteFacade,
+        core::ConfigLevel::kStatefulComponentCaching, core::ConfigLevel::kQueryCaching,
+        core::ConfigLevel::kAsyncUpdates}) {
+    breakdown_for(level);
+  }
+  std::cout << "Reading: in the centralized rows the time is http-wire (the 2 WAN round\n"
+            << "trips); the façade rung moves it into rmi-wire; component/query caching\n"
+            << "eliminate it for Item/Category (all that remains is container residence);\n"
+            << "Commit's cost lives in 'push' under blocking propagation and vanishes\n"
+            << "into 'publish' under asynchronous updates.\n";
+  return 0;
+}

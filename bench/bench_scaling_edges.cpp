@@ -1,0 +1,66 @@
+// Sensitivity sweep S2: edge fan-out. Each added edge server brings its own
+// client group (10 req/s). Reads scale out — every group is served by its
+// local replicas — while the write path concentrates at the centre: under
+// blocking push the writer pays one more WAN round trip per edge, under
+// asynchronous updates it pays nothing (§4.5's scalability argument,
+// beyond the paper's fixed two-edge testbed).
+#include <iostream>
+
+#include "apps/rubis/rubis.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace mutsvc;
+
+namespace {
+
+struct Row {
+  double browser = 0.0;
+  double store_bid = 0.0;
+  double main_cpu = 0.0;
+};
+
+Row run(std::size_t edges, core::ConfigLevel level) {
+  apps::rubis::RubisApp app;
+  core::HarnessCalibration cal = core::rubis_calibration();
+  cal.testbed.edge_count = edges;
+  core::ExperimentSpec spec;
+  spec.level = level;
+  spec.duration = sim::sec(1200);
+  spec.warmup = sim::sec(240);
+  spec.total_request_rate = 10.0 * static_cast<double>(edges + 1);
+  core::Experiment exp{app.driver(), spec, cal};
+  exp.run();
+  return Row{exp.results().pattern_mean_ms("Browser", stats::ClientGroup::kRemote),
+             exp.results().page_mean_ms("Bidder", "Store Bid", stats::ClientGroup::kLocal),
+             exp.cpu_utilization(exp.nodes().main_server)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Sensitivity S2: scaling the edge fan-out (10 req/s per site) ===\n\n";
+
+  stats::TextTable table{{"edges", "total req/s", "remote browser (ms)",
+                          "Store Bid, blocking (ms)", "Store Bid, async (ms)",
+                          "main CPU (async)"}};
+  for (std::size_t edges : {1, 2, 4, 8}) {
+    Row blocking = run(edges, core::ConfigLevel::kQueryCaching);  // blocking push rung
+    Row async = run(edges, core::ConfigLevel::kAsyncUpdates);
+    table.add_row({std::to_string(edges),
+                   stats::TextTable::cell_fixed(10.0 * static_cast<double>(edges + 1), 0),
+                   stats::TextTable::cell_ms(async.browser),
+                   stats::TextTable::cell_ms(blocking.store_bid),
+                   stats::TextTable::cell_ms(async.store_bid),
+                   stats::TextTable::cell_fixed(async.main_cpu * 100.0, 1) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nRemote browsing stays edge-local at every fan-out; the blocking-push\n"
+            << "write cost climbs ~200 ms per added edge while the asynchronous write\n"
+            << "stays flat. The main server's CPU grows with the total offered load —\n"
+            << "it still applies every write — which is the residual centralization\n"
+            << "the paper's §6 defers to database replication techniques.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Sensitivity sweep S1: WAN latency. The paper's claim is that the design
+// rules "almost completely insulate remote clients from wide-area effects"
+// (§4.6) — so the final configuration's remote response times should be
+// nearly flat in the WAN latency, while the centralized deployment grows
+// linearly with it (2 RTTs per page).
+#include <iostream>
+
+#include "apps/rubis/rubis.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace mutsvc;
+
+namespace {
+
+struct Point {
+  double browser = 0.0;
+  double bidder = 0.0;
+};
+
+Point run(double wan_ms, core::ConfigLevel level) {
+  apps::rubis::RubisApp app;
+  core::HarnessCalibration cal = core::rubis_calibration();
+  cal.testbed.wan_one_way = sim::ms(wan_ms);
+  core::ExperimentSpec spec;
+  spec.level = level;
+  spec.duration = sim::sec(1500);
+  spec.warmup = sim::sec(300);
+  core::Experiment exp{app.driver(), spec, cal};
+  exp.run();
+  return Point{exp.results().pattern_mean_ms("Browser", stats::ClientGroup::kRemote),
+               exp.results().pattern_mean_ms("Bidder", stats::ClientGroup::kRemote)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Sensitivity S1: remote response time vs WAN one-way latency ===\n"
+            << "(RUBiS; centralized vs the final asynchronous-updates configuration)\n\n";
+
+  stats::TextTable table{{"one-way latency (ms)", "centralized browser", "final browser",
+                          "centralized bidder", "final bidder"}};
+  for (double wan : {10.0, 25.0, 50.0, 100.0, 200.0, 400.0}) {
+    Point centralized = run(wan, core::ConfigLevel::kCentralized);
+    Point final_cfg = run(wan, core::ConfigLevel::kAsyncUpdates);
+    table.add_row({stats::TextTable::cell_fixed(wan, 0),
+                   stats::TextTable::cell_ms(centralized.browser),
+                   stats::TextTable::cell_ms(final_cfg.browser),
+                   stats::TextTable::cell_ms(centralized.bidder),
+                   stats::TextTable::cell_ms(final_cfg.bidder)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCentralized remote times grow ~4x the one-way latency (two HTTP round\n"
+            << "trips); the final configuration's browser column is essentially flat —\n"
+            << "the wide-area network has been engineered out of the read path. The\n"
+            << "bidder column keeps a ~1-RTT slope: transactional writes must still\n"
+            << "reach the centre (§6's opening caveat).\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Table 6: average response times (ms) for the five Java Pet
+// Store configurations, local and remote clients.
+#include <iostream>
+
+#include "apps/petstore/petstore.hpp"
+#include "bench/table_common.hpp"
+
+int main() {
+  using namespace mutsvc;
+
+  std::cout << "=== Table 6: Average response times (ms) for five Pet Store "
+               "configurations ===\n\n";
+
+  apps::petstore::PetStoreApp app;
+  apps::AppDriver driver = app.driver();
+  core::HarnessCalibration cal = core::petstore_calibration();
+
+  bench::LadderRun run = bench::run_ladder(driver, cal, bench::base_spec());
+  core::print_paper_table(std::cout, driver, run.results);
+
+  std::cout << "\nPaper's Table 6 for reference (Local/Remote, ms):\n"
+            << "  Centralized:      Main 87/488  Category 95/492  Product 94/492  "
+               "Item 88/486  Search 106/496  Commit 158/708\n"
+            << "  Remote facade:    Main 64/72   Category 78/387  Product 80/389  "
+               "Item 72/373  Search 82/384   Commit 134/500\n"
+            << "  St.comp.caching:  Main 55/55   Category 82/394  Product 84/390  "
+               "Item 55/57   Search 77/393   Commit 584/950\n"
+            << "  Query caching:    Main 56/55   Category 50/51   Product 51/51   "
+               "Item 54/55   Search 87/481   Commit 614/966\n"
+            << "  Async updates:    Main 61/59   Category 54/51   Product 53/53   "
+               "Item 57/58   Search 92/459   Commit 195/536\n\n";
+
+  for (std::size_t i = 0; i < run.experiments.size(); ++i) {
+    std::cout << core::to_string(run.results[i].level) << ":\n";
+    bench::print_utilization(std::cout, *run.experiments[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Table 7: average response times (ms) for the five RUBiS
+// configurations, local and remote clients.
+#include <iostream>
+
+#include "apps/rubis/rubis.hpp"
+#include "bench/table_common.hpp"
+
+int main() {
+  using namespace mutsvc;
+
+  std::cout << "=== Table 7: Average response times (ms) for five RUBiS "
+               "configurations ===\n\n";
+
+  apps::rubis::RubisApp app;
+  apps::AppDriver driver = app.driver();
+  core::HarnessCalibration cal = core::rubis_calibration();
+
+  bench::LadderRun run = bench::run_ladder(driver, cal, bench::base_spec());
+  core::print_paper_table(std::cout, driver, run.results);
+
+  std::cout
+      << "\nPaper's Table 7 for reference (Local/Remote, ms):\n"
+      << "  Centralized:      Main 14/421  Category 43/649  Item 27/430  Bids 40/446  "
+         "UserInfo 43/452  PutBidForm 32/439  StoreBid 36/437  StoreComment 35/432\n"
+      << "  Remote facade:    Main 10/4    Category 35/499  Item 24/275  Bids 35/300  "
+         "UserInfo 34/379  PutBidForm 30/408  StoreBid 30/284  StoreComment 30/282\n"
+      << "  St.comp.caching:  Main 13/3    Category 38/526  Item 19/7    Bids 30/323  "
+         "UserInfo 31/404  PutBidForm 23/450  StoreBid 372/680 StoreComment 377/628\n"
+      << "  Query caching:    Main 9/5     Category 16/6    Item 15/8    Bids 16/8    "
+         "UserInfo 16/8    PutBidForm 15/7    StoreBid 377/798 StoreComment 374/729\n"
+      << "  Async updates:    Main 12/4    Category 13/6    Item 14/7    Bids 15/10   "
+         "UserInfo 15/10   PutBidForm 15/9    StoreBid 32/421  StoreComment 34/419\n\n";
+
+  for (std::size_t i = 0; i < run.experiments.size(); ++i) {
+    std::cout << core::to_string(run.results[i].level) << ":\n";
+    bench::print_utilization(std::cout, *run.experiments[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+#pragma once
+
+// A minimal main+edges testbed around the container runtime, shared by the
+// ablation benches that exercise one design rule in isolation.
+
+#include <memory>
+#include <vector>
+
+#include "component/deployment.hpp"
+#include "component/model.hpp"
+#include "component/runtime.hpp"
+#include "db/database.hpp"
+#include "net/network.hpp"
+#include "net/rmi.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace mutsvc::bench {
+
+struct MiniWorld {
+  sim::Simulator sim{1};
+  net::Topology topo{sim};
+  net::NodeId main;
+  std::vector<net::NodeId> edges;
+  net::Network net{sim, topo, sim::Duration::zero()};
+  std::unique_ptr<net::RmiTransport> rmi;
+  std::unique_ptr<db::Database> database;
+  comp::Application app{"mini"};
+  std::unique_ptr<comp::Runtime> runtime;
+
+  explicit MiniWorld(int edge_count = 2, double extra_rtt_prob = 0.0) {
+    main = topo.add_node("main", net::NodeRole::kAppServer);
+    for (int i = 0; i < edge_count; ++i) {
+      auto e = topo.add_node("edge" + std::to_string(i), net::NodeRole::kAppServer);
+      topo.add_link(main, e, sim::ms(100), 100e6);
+      edges.push_back(e);
+    }
+    net::RmiConfig rcfg;
+    rcfg.extra_rtt_prob = extra_rtt_prob;
+    rcfg.dgc_traffic_factor = 1.0;
+    rmi = std::make_unique<net::RmiTransport>(net, rcfg);
+    database = std::make_unique<db::Database>(topo, main);
+    auto& items = database->create_table(
+        "item", {{"id", db::ColumnType::kInt}, {"qty", db::ColumnType::kInt}});
+    for (std::int64_t i = 0; i < 100; ++i) items.insert(db::Row{i, std::int64_t{1000}});
+  }
+
+  /// Builds the runtime after components/plan are set up.
+  comp::Runtime& start(comp::DeploymentPlan plan, comp::RuntimeConfig cfg = {}) {
+    runtime = std::make_unique<comp::Runtime>(sim, topo, net, *rmi, *database, app,
+                                              std::move(plan), cfg);
+    runtime->bind_entity("Item", "item");
+    return *runtime;
+  }
+
+  comp::DeploymentPlan base_plan() {
+    comp::DeploymentPlan plan;
+    plan.set_main_server(main);
+    for (auto e : edges) plan.add_edge_server(e);
+    for (const auto& name : app.component_names()) plan.place(name, main);
+    return plan;
+  }
+
+  /// Runs `t` and returns the task's own completion time in ms (background
+  /// activity it spawned may finish later).
+  double timed(sim::Task<void> t) {
+    sim::SimTime start = sim.now();
+    sim::SimTime done = start;
+    sim.spawn([](sim::Task<void> t, sim::Simulator& s, sim::SimTime& done) -> sim::Task<void> {
+      co_await std::move(t);
+      done = s.now();
+    }(std::move(t), sim, done));
+    sim.run_until();
+    return (done - start).as_millis();
+  }
+};
+
+}  // namespace mutsvc::bench

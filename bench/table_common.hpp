@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/common/driver.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace mutsvc::bench {
+
+/// Run length control: the default reproduces the paper's methodology —
+/// one simulated hour per configuration after a several-minute warm-up
+/// (§3.3). MUTSVC_FAST=1 switches to a short smoke run for CI.
+inline core::ExperimentSpec base_spec() {
+  core::ExperimentSpec spec;
+  spec.duration = sim::sec(3600);
+  spec.warmup = sim::sec(300);
+  if (std::getenv("MUTSVC_FAST") != nullptr) {
+    spec.duration = sim::sec(180);
+    spec.warmup = sim::sec(30);
+  }
+  return spec;
+}
+
+struct LadderRun {
+  std::vector<std::unique_ptr<core::Experiment>> experiments;
+  std::vector<core::ConfigResult> results;
+};
+
+/// Runs all five configurations of §4 for one application.
+inline LadderRun run_ladder(const apps::AppDriver& driver,
+                            const core::HarnessCalibration& cal,
+                            const core::ExperimentSpec& base) {
+  LadderRun run;
+  for (core::ConfigLevel level :
+       {core::ConfigLevel::kCentralized, core::ConfigLevel::kRemoteFacade,
+        core::ConfigLevel::kStatefulComponentCaching, core::ConfigLevel::kQueryCaching,
+        core::ConfigLevel::kAsyncUpdates}) {
+    core::ExperimentSpec spec = base;
+    spec.level = level;
+    auto exp = std::make_unique<core::Experiment>(driver, spec, cal);
+    std::cerr << "  running: " << core::to_string(level) << " ("
+              << spec.duration.as_seconds() << "s simulated)..." << std::endl;
+    exp->run();
+    run.results.push_back(core::ConfigResult{level, &exp->results()});
+    run.experiments.push_back(std::move(exp));
+  }
+  return run;
+}
+
+inline void print_utilization(std::ostream& os, core::Experiment& exp) {
+  const auto& n = exp.nodes();
+  os << "  CPU utilization: main " << static_cast<int>(exp.cpu_utilization(n.main_server) * 100)
+     << "%, edge1 " << static_cast<int>(exp.cpu_utilization(n.edge_servers[0]) * 100)
+     << "%, edge2 " << static_cast<int>(exp.cpu_utilization(n.edge_servers[1]) * 100) << "%";
+  if (n.db_node != n.main_server) {
+    os << ", db " << static_cast<int>(exp.cpu_utilization(n.db_node) * 100) << "%";
+  }
+  os << "\n";
+}
+
+}  // namespace mutsvc::bench

@@ -1,0 +1,58 @@
+// RUBiS usage patterns: the §3.2 message. "Response times observed by
+// clients significantly depend on client behaviour" — different service
+// usage patterns benefit from different distribution decisions. This
+// example runs RUBiS under browser-heavy, balanced, and bidder-heavy
+// client mixes and shows which configuration each mix prefers.
+//
+// Run: ./build/examples/rubis_usage_patterns
+#include <iostream>
+
+#include "apps/rubis/rubis.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace mutsvc;
+
+int main() {
+  apps::rubis::RubisApp app;
+  apps::AppDriver driver = app.driver();
+  core::HarnessCalibration cal = core::rubis_calibration();
+
+  std::cout << "=== RUBiS: service usage patterns vs configuration choice ===\n\n"
+            << "Remote-client mean response time (ms) per usage pattern, for three\n"
+            << "client mixes (fraction of browsers vs bidders) under the blocking-push\n"
+            << "and asynchronous-updates configurations.\n\n";
+
+  for (double browser_fraction : {0.95, 0.80, 0.50}) {
+    std::cout << "--- client mix: " << static_cast<int>(browser_fraction * 100)
+              << "% browsers / " << static_cast<int>((1 - browser_fraction) * 100)
+              << "% bidders ---\n";
+    stats::TextTable table{{"configuration", "Remote Browser (ms)", "Remote Bidder (ms)"}};
+    for (core::ConfigLevel level :
+         {core::ConfigLevel::kCentralized, core::ConfigLevel::kStatefulComponentCaching,
+          core::ConfigLevel::kQueryCaching, core::ConfigLevel::kAsyncUpdates}) {
+      core::ExperimentSpec spec;
+      spec.level = level;
+      spec.duration = sim::sec(1200);
+      spec.warmup = sim::sec(180);
+      spec.browser_fraction = browser_fraction;
+      core::Experiment exp{driver, spec, cal};
+      exp.run();
+      table.add_row({core::to_string(level),
+                     stats::TextTable::cell_ms(exp.results().pattern_mean_ms(
+                         "Browser", stats::ClientGroup::kRemote)),
+                     stats::TextTable::cell_ms(exp.results().pattern_mean_ms(
+                         "Bidder", stats::ClientGroup::kRemote))});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading the tables: browsers always want the caches; bidders are\n"
+            << "actively hurt by the blocking push (they block while updates cross\n"
+            << "the WAN) until asynchronous updates decouple them. A deployer can use\n"
+            << "usage patterns to pick per-group access paths — the Mutable Services\n"
+            << "idea the paper's project context describes.\n";
+  return 0;
+}

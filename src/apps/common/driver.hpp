@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/common/metadata.hpp"
+#include "component/model.hpp"
+#include "component/runtime.hpp"
+#include "db/database.hpp"
+#include "sim/random.hpp"
+#include "workload/session.hpp"
+
+namespace mutsvc::apps {
+
+/// Uniform handle the experiment harness uses to drive an application.
+/// Both PetStoreApp and RubisApp produce one via their `driver()` method.
+struct AppDriver {
+  std::string name;
+  const comp::Application* app = nullptr;
+  const AppMetadata* meta = nullptr;
+  std::function<void(db::Database&)> install_database;
+  std::function<void(comp::Runtime&)> bind_entities;
+  std::function<workload::SessionFactory(sim::RngStream)> browser_factory;
+  std::function<workload::SessionFactory(sim::RngStream)> writer_factory;
+  std::vector<std::pair<std::string, std::string>> table_pages;  // (pattern, page)
+  std::string browser_pattern = "Browser";  // the read-only usage pattern
+  std::string writer_pattern;               // "Buyer", "Bidder", "Operator", ...
+  /// §3.1: the RUBiS database ran on the main application server itself;
+  /// Pet Store's Oracle ran on a separate workstation on the same LAN.
+  bool db_colocated = false;
+};
+
+}  // namespace mutsvc::apps

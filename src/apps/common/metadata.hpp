@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "component/deployment.hpp"
+
+namespace mutsvc::apps {
+
+/// What the configuration ladder (core/ladder.hpp) needs to know about an
+/// application to apply the paper's design rules to it.
+struct AppMetadata {
+  std::string name;
+
+  /// Web-tier components (servlets/JSPs/JavaBeans): deployed at edge
+  /// servers from the Remote Façade configuration on (§4.2).
+  std::vector<std::string> web_components;
+
+  /// Stateful session beans: per-client state, deployed at edges with the
+  /// web tier (§4.2: "Pet Store uses stateful session beans ... together
+  /// with web components they were deployed in all three servers").
+  std::vector<std::string> stateful_session;
+
+  /// Stateless façades additionally replicated to edges from the Stateful
+  /// Component Caching configuration on (§4.3: edge Catalog, RUBiS's
+  /// SB_View* beans), delegating to the centre when a request cannot be
+  /// served locally.
+  std::vector<std::string> edge_facades;
+
+  /// Stateless beans hosting query caches, replicated to edges from the
+  /// Query Caching configuration on (§4.4: "query result caches were
+  /// naturally incorporated in those stateless session beans that make
+  /// corresponding finder method invocations").
+  std::vector<std::string> query_facades;
+
+  /// Façades that always stay with the data (SignOn, Customer, writers).
+  std::vector<std::string> main_facades;
+
+  /// Entity beans; always placed at the main server (the read-write
+  /// masters).
+  std::vector<std::string> entities;
+
+  /// Entities that receive read-only edge replicas from the Stateful
+  /// Component Caching configuration on (§4.3).
+  std::vector<std::string> read_mostly;
+
+  /// §4.4: Pet Store implemented pull-based query refresh, RUBiS push.
+  comp::QueryRefreshMode query_refresh = comp::QueryRefreshMode::kPush;
+};
+
+}  // namespace mutsvc::apps

@@ -1,0 +1,531 @@
+#include "apps/rubis/rubis.hpp"
+
+#include <array>
+#include <memory>
+
+#include "db/query.hpp"
+
+namespace mutsvc::apps::rubis {
+
+using comp::CallContext;
+using comp::ComponentKind;
+using db::Query;
+using db::Row;
+using db::Value;
+using sim::Task;
+
+RubisApp::RubisApp(Shape shape, Calibration cal)
+    : shape_(shape), cal_(cal), app_("rubis"), meta_(build_metadata()) {
+  define_components();
+}
+
+AppMetadata RubisApp::build_metadata() {
+  AppMetadata m;
+  m.name = "rubis";
+  // §4.2: "RUBiS does not use stateful session beans, so only web
+  // components were deployed in the edge servers."
+  m.web_components = {"RubisWeb"};
+  m.stateful_session = {};
+  // §4.3: "the read-only beans and SB_ViewBidHistory, SB_ViewItem, and
+  // SB_ViewUserInfo façade stateless session beans were also deployed on
+  // the edge servers."
+  m.edge_facades = {"SB_ViewItem", "SB_ViewBidHistory", "SB_ViewUserInfo"};
+  // §4.4: query caches live in the stateless beans issuing the finders.
+  m.query_facades = {"SB_BrowseCategories", "SB_BrowseRegions", "SB_SearchItemsByCategory",
+                     "SB_SearchItemsByRegion", "SB_Auth", "SB_PutBid", "SB_PutComment"};
+  m.main_facades = {"SB_StoreBid", "SB_StoreComment"};
+  m.entities = {"UserEJB", "ItemEJB", "BidEJB", "CommentEJB", "CategoryEJB", "RegionEJB"};
+  // §4.3: "Read-only BMP versions of Item and User beans were introduced."
+  m.read_mostly = {"Item", "User"};
+  // §4.4: "A push-based query update mechanism was implemented" for RUBiS.
+  m.query_refresh = comp::QueryRefreshMode::kPush;
+  return m;
+}
+
+void RubisApp::define_components() {
+  // ----- session façades (EJB tier) -------------------------------------------
+  auto& browse_cat = app_.define("SB_BrowseCategories", ComponentKind::kStatelessSessionBean);
+  browse_cat.method({.name = "getCategories",
+                     .cpu = cal_.ejb_cpu,
+                     .body = [](CallContext& ctx) -> Task<void> {
+                       auto res = co_await ctx.cached_query(Query::aggregate("all_categories"));
+                       ctx.result = std::move(res.rows);
+                     }});
+  browse_cat.method({.name = "getCategoriesForRegion",
+                     .cpu = cal_.ejb_cpu,
+                     .body = [](CallContext& ctx) -> Task<void> {
+                       Query q = Query::aggregate("categories_in_region", {ctx.arg(0)});
+                       auto res = co_await ctx.cached_query(std::move(q));
+                       ctx.result = std::move(res.rows);
+                     }});
+
+  auto& browse_reg = app_.define("SB_BrowseRegions", ComponentKind::kStatelessSessionBean);
+  browse_reg.method({.name = "getRegions",
+                     .cpu = cal_.ejb_cpu,
+                     .body = [](CallContext& ctx) -> Task<void> {
+                       auto res = co_await ctx.cached_query(Query::aggregate("all_regions"));
+                       ctx.result = std::move(res.rows);
+                     }});
+
+  auto& search_cat = app_.define("SB_SearchItemsByCategory", ComponentKind::kStatelessSessionBean);
+  search_cat.method({.name = "getItems",
+                     .cpu = cal_.ejb_cpu,
+                     .body = [](CallContext& ctx) -> Task<void> {
+                       auto res = co_await ctx.cached_query(
+                           Query::finder("items", "category_id", ctx.arg(0)));
+                       ctx.result = std::move(res.rows);
+                     }});
+
+  auto& search_reg = app_.define("SB_SearchItemsByRegion", ComponentKind::kStatelessSessionBean);
+  search_reg.method({.name = "getItems",
+                     .cpu = cal_.ejb_cpu,
+                     .body = [](CallContext& ctx) -> Task<void> {
+                       Query q = Query::aggregate("items_in_category_region",
+                                                  {ctx.arg(0), ctx.arg(1)});
+                       auto res = co_await ctx.cached_query(std::move(q));
+                       ctx.result = std::move(res.rows);
+                     }});
+
+  auto& view_item = app_.define("SB_ViewItem", ComponentKind::kStatelessSessionBean);
+  view_item.method({.name = "getItem",
+                    .cpu = cal_.ejb_cpu,
+                    .body = [](CallContext& ctx) -> Task<void> {
+                      auto item = co_await ctx.read_entity("Item", ctx.arg_int(0));
+                      if (item) ctx.result.push_back(std::move(*item));
+                    }});
+
+  auto& view_bids = app_.define("SB_ViewBidHistory", ComponentKind::kStatelessSessionBean);
+  view_bids.method({.name = "getBids",
+                    .cpu = cal_.ejb_cpu,
+                    .body = [](CallContext& ctx) -> Task<void> {
+                      auto res = co_await ctx.cached_query(
+                          Query::finder("bids", "item_id", ctx.arg(0)));
+                      ctx.result = std::move(res.rows);
+                    }});
+
+  auto& view_user = app_.define("SB_ViewUserInfo", ComponentKind::kStatelessSessionBean);
+  view_user.method({.name = "getUserInfo",
+                    .cpu = cal_.ejb_cpu,
+                    .body = [](CallContext& ctx) -> Task<void> {
+                      auto user = co_await ctx.read_entity("User", ctx.arg_int(0));
+                      if (user) ctx.result.push_back(std::move(*user));
+                      auto comments = co_await ctx.cached_query(
+                          Query::finder("comments", "to_user", ctx.arg(0)));
+                      for (auto& r : comments.rows) ctx.result.push_back(std::move(r));
+                    }});
+
+  // Authentication is a finder on (nickname, password) — a query, which is
+  // why it becomes edge-local only once query caching is enabled (§4.4's
+  // "triumphal" bidder-form improvement).
+  auto& auth = app_.define("SB_Auth", ComponentKind::kStatelessSessionBean);
+  auth.method({.name = "authenticate",
+               .cpu = cal_.ejb_cpu,
+               .body = [](CallContext& ctx) -> Task<void> {
+                 auto res = co_await ctx.cached_query(
+                     Query::finder("users", "nickname", ctx.arg(0)));
+                 ctx.result = std::move(res.rows);
+               }});
+
+  auto& put_bid = app_.define("SB_PutBid", ComponentKind::kStatelessSessionBean);
+  put_bid.method({.name = "buildForm",
+                  .cpu = cal_.ejb_cpu,
+                  .body = [](CallContext& ctx) -> Task<void> {
+                    // Verify credentials, then show current item state.
+                    (void)co_await ctx.call("SB_Auth", "authenticate", ctx.arg(0));
+                    auto item = co_await ctx.read_entity("Item", ctx.arg_int(1));
+                    if (item) ctx.result.push_back(std::move(*item));
+                  }});
+
+  auto& store_bid = app_.define("SB_StoreBid", ComponentKind::kStatelessSessionBean);
+  store_bid.method(
+      {.name = "storeBid",
+       .cpu = cal_.ejb_cpu,
+       .body = [](CallContext& ctx) -> Task<void> {
+         const std::int64_t user = ctx.arg_int(0);
+         const std::int64_t item = ctx.arg_int(1);
+         const double amount = db::as_real(ctx.arg(2));
+         auto current = co_await ctx.read_entity("Item", item);
+         if (!current) co_return;
+         const std::int64_t category = db::as_int((*current)[2]);
+         const std::int64_t nb_bids = db::as_int((*current)[5]);
+         // One transaction: insert the bid, update the item's bid count and
+         // current price; invalidates the item's bid history and the item
+         // listings that display prices/bid counts.
+         std::vector<Query> affected{
+             Query::finder("bids", "item_id", Value{item}),
+             Query::finder("items", "category_id", Value{category}),
+         };
+         const std::int64_t bid_id = ctx.allocate_id("bids");
+         Row bid{bid_id, item, user, amount};
+         co_await ctx.insert_row("Bid", std::move(bid), affected);
+         co_await ctx.write_entity("Item", item, "nb_bids", nb_bids + 1, affected);
+         co_await ctx.write_entity("Item", item, "current_price", amount);
+       }});
+
+  auto& put_comment = app_.define("SB_PutComment", ComponentKind::kStatelessSessionBean);
+  put_comment.method({.name = "buildForm",
+                      .cpu = cal_.ejb_cpu,
+                      .body = [](CallContext& ctx) -> Task<void> {
+                        (void)co_await ctx.call("SB_Auth", "authenticate", ctx.arg(0));
+                        auto user = co_await ctx.read_entity("User", ctx.arg_int(1));
+                        if (user) ctx.result.push_back(std::move(*user));
+                      }});
+
+  auto& store_comment = app_.define("SB_StoreComment", ComponentKind::kStatelessSessionBean);
+  store_comment.method(
+      {.name = "storeComment",
+       .cpu = cal_.ejb_cpu,
+       .body = [](CallContext& ctx) -> Task<void> {
+         const std::int64_t from = ctx.arg_int(0);
+         const std::int64_t to = ctx.arg_int(1);
+         const std::int64_t item = ctx.arg_int(2);
+         auto target = co_await ctx.read_entity("User", to);
+         if (!target) co_return;
+         const std::int64_t rating = db::as_int((*target)[4]);
+         std::vector<Query> affected{Query::finder("comments", "to_user", Value{to})};
+         const std::int64_t comment_id = ctx.allocate_id("comments");
+         Row comment{comment_id, from, to, item, std::int64_t{5}, std::string{"Great seller"}};
+         co_await ctx.insert_row("Comment", std::move(comment), affected);
+         co_await ctx.write_entity("User", to, "rating", rating + 1);
+       }});
+
+  // Entity beans (placement anchors; data access via CallContext helpers).
+  for (const char* e :
+       {"UserEJB", "ItemEJB", "BidEJB", "CommentEJB", "CategoryEJB", "RegionEJB"}) {
+    app_.define(e, ComponentKind::kEntityBeanRW).local_interface_only();
+  }
+
+  // ----- web tier: one servlet per page type (§2.2) ----------------------------
+  auto& web = app_.define("RubisWeb", ComponentKind::kServlet);
+
+  auto simple_page = [&](const char* name, sim::Duration latency, net::Bytes bytes) {
+    web.method({.name = name, .cpu = cal_.page_cpu, .latency = latency, .result_bytes = bytes});
+  };
+  simple_page("main", cal_.main_latency, 2 * 1024);
+  simple_page("browse", cal_.browse_latency, 2 * 1024);
+  simple_page("putbidauth", cal_.putbidauth_latency, 2 * 1024);
+  simple_page("putcommentauth", cal_.putcommentauth_latency, 2 * 1024);
+
+  auto facade_page = [&](const char* name, sim::Duration latency, const char* bean,
+                         const char* method, net::Bytes bytes) {
+    std::string bean_s = bean;
+    std::string method_s = method;
+    web.method({.name = name,
+                .cpu = cal_.page_cpu,
+                .latency = latency,
+                .result_bytes = bytes,
+                .body = [bean_s, method_s](CallContext& ctx) -> Task<void> {
+                  std::vector<Value> args;
+                  for (std::size_t i = 0; i < ctx.arg_count(); ++i) args.push_back(ctx.arg(i));
+                  auto res = co_await ctx.call(bean_s, method_s, std::move(args));
+                  ctx.result = std::move(res.rows);
+                }});
+  };
+
+  facade_page("allcategories", cal_.allcategories_latency, "SB_BrowseCategories",
+              "getCategories", 4 * 1024);
+  facade_page("allregions", cal_.allregions_latency, "SB_BrowseRegions", "getRegions", 3 * 1024);
+  facade_page("region", cal_.region_latency, "SB_BrowseCategories", "getCategoriesForRegion",
+              4 * 1024);
+  facade_page("category", cal_.category_latency, "SB_SearchItemsByCategory", "getItems",
+              6 * 1024);
+  facade_page("categoryregion", cal_.categoryregion_latency, "SB_SearchItemsByRegion",
+              "getItems", 5 * 1024);
+  facade_page("item", cal_.item_latency, "SB_ViewItem", "getItem", 4 * 1024);
+  facade_page("bids", cal_.bids_latency, "SB_ViewBidHistory", "getBids", 4 * 1024);
+  facade_page("userinfo", cal_.userinfo_latency, "SB_ViewUserInfo", "getUserInfo", 4 * 1024);
+  facade_page("putbidform", cal_.putbidform_latency, "SB_PutBid", "buildForm", 3 * 1024);
+  facade_page("storebid", cal_.storebid_latency, "SB_StoreBid", "storeBid", 2 * 1024);
+  facade_page("putcommentform", cal_.putcommentform_latency, "SB_PutComment", "buildForm",
+              3 * 1024);
+  facade_page("storecomment", cal_.storecomment_latency, "SB_StoreComment", "storeComment",
+              2 * 1024);
+}
+
+void RubisApp::install_database(db::Database& db) const {
+  using db::Column;
+  using db::ColumnType;
+
+  auto& regions =
+      db.create_table("regions", {{"id", ColumnType::kInt}, {"name", ColumnType::kText}});
+  auto& categories =
+      db.create_table("categories", {{"id", ColumnType::kInt}, {"name", ColumnType::kText}});
+  auto& users = db.create_table("users", {{"id", ColumnType::kInt},
+                                          {"nickname", ColumnType::kText},
+                                          {"password", ColumnType::kText},
+                                          {"region_id", ColumnType::kInt},
+                                          {"rating", ColumnType::kInt}});
+  auto& items = db.create_table("items", {{"id", ColumnType::kInt},
+                                          {"name", ColumnType::kText},
+                                          {"category_id", ColumnType::kInt},
+                                          {"seller_id", ColumnType::kInt},
+                                          {"initial_price", ColumnType::kReal},
+                                          {"nb_bids", ColumnType::kInt},
+                                          {"current_price", ColumnType::kReal}});
+  auto& bids = db.create_table("bids", {{"id", ColumnType::kInt},
+                                        {"item_id", ColumnType::kInt},
+                                        {"user_id", ColumnType::kInt},
+                                        {"amount", ColumnType::kReal}});
+  auto& comments = db.create_table("comments", {{"id", ColumnType::kInt},
+                                                {"from_user", ColumnType::kInt},
+                                                {"to_user", ColumnType::kInt},
+                                                {"item_id", ColumnType::kInt},
+                                                {"rating", ColumnType::kInt},
+                                                {"text", ColumnType::kText}});
+
+  users.create_index("nickname");
+  items.create_index("category_id");
+  bids.create_index("item_id");
+  comments.create_index("to_user");
+
+  for (std::int64_t r = 1; r <= shape_.regions; ++r) {
+    regions.insert(Row{r, std::string{"Region-"} + std::to_string(r)});
+  }
+  for (std::int64_t c = 1; c <= shape_.categories; ++c) {
+    categories.insert(Row{c, std::string{"Category-"} + std::to_string(c)});
+  }
+  for (std::int64_t u = 1; u <= shape_.users; ++u) {
+    users.insert(Row{u, std::string{"user"} + std::to_string(u), std::string{"pw"},
+                     shape_.user_region(u), std::int64_t{0}});
+  }
+  std::int64_t bid_id = 0;
+  for (std::int64_t i = 1; i <= shape_.items; ++i) {
+    items.insert(Row{i, std::string{"Item-"} + std::to_string(i), shape_.item_category(i),
+                     shape_.item_seller(i), 10.0, std::int64_t{shape_.initial_bids_per_item},
+                     10.0 + static_cast<double>(shape_.initial_bids_per_item)});
+    for (int b = 0; b < shape_.initial_bids_per_item; ++b) {
+      bids.insert(Row{++bid_id, i, (i + b) % shape_.users + 1, 10.0 + b});
+    }
+  }
+  std::int64_t comment_id = 0;
+  for (std::int64_t u = 1; u <= shape_.users; ++u) {
+    for (int c = 0; c < shape_.initial_comments_per_user; ++c) {
+      comments.insert(Row{++comment_id, (u + c) % shape_.users + 1, u, (u % shape_.items) + 1,
+                          std::int64_t{5}, std::string{"ok"}});
+    }
+  }
+
+  db.register_aggregate("all_categories", [](db::Database& d, const std::vector<Value>&) {
+    return d.table("categories").scan([](const Row&) { return true; });
+  });
+  db.register_aggregate("all_regions", [](db::Database& d, const std::vector<Value>&) {
+    return d.table("regions").scan([](const Row&) { return true; });
+  });
+  db.register_aggregate("categories_in_region",
+                        [](db::Database& d, const std::vector<Value>&) {
+                          // The region filters which items exist per category;
+                          // the category list itself is global.
+                          return d.table("categories").scan([](const Row&) { return true; });
+                        });
+  db.register_aggregate(
+      "items_in_category_region", [](db::Database& d, const std::vector<Value>& params) {
+        const std::int64_t category = db::as_int(params.at(0));
+        const std::int64_t region = db::as_int(params.at(1));
+        std::vector<Row> out;
+        for (Row& item : d.table("items").find_equal("category_id", category)) {
+          auto seller = d.table("users").get(db::as_int(item[3]));
+          if (seller && db::as_int((*seller)[3]) == region) out.push_back(std::move(item));
+        }
+        return out;
+      });
+}
+
+void RubisApp::bind_entities(comp::Runtime& rt) const {
+  rt.bind_entity("User", "users");
+  rt.bind_entity("Item", "items");
+  rt.bind_entity("Bid", "bids");
+  rt.bind_entity("Comment", "comments");
+  rt.bind_entity("Category", "categories");
+  rt.bind_entity("Region", "regions");
+}
+
+// --- session scripts -------------------------------------------------------------
+
+namespace {
+
+workload::PageRequest make_request(const char* pattern, std::string page, std::string method,
+                                   std::vector<Value> args) {
+  workload::PageRequest req;
+  req.page = std::move(page);
+  req.pattern = pattern;
+  req.component = "RubisWeb";
+  req.method = std::move(method);
+  req.args = std::move(args);
+  req.response_bytes = 4 * 1024;
+  return req;
+}
+
+/// Table 4: 40 requests with the listed weights, logically ordered (Item /
+/// Bids requests follow a Category listing, User Info follows Bids, ...).
+class BrowserScript final : public workload::SessionScript {
+ public:
+  BrowserScript(Shape shape, sim::RngStream rng) : shape_(shape), rng_(std::move(rng)) {}
+
+  std::optional<workload::PageRequest> next() override {
+    if (issued_ >= RubisApp::kBrowserSessionLength) return std::nullopt;
+    ++issued_;
+    if (issued_ == 1) return make_request("Browser", "Main", "main", {});
+
+    static constexpr std::array<double, 10> kWeights = {2.5, 2.5, 2.5,  2.5, 2.5,
+                                                        7.5, 7.5, 42.5, 15,  15};
+    switch (rng_.weighted_index(kWeights)) {
+      case 0: return make_request("Browser", "Main", "main", {});
+      case 1: return make_request("Browser", "Browse", "browse", {});
+      case 2: return make_request("Browser", "All Categories", "allcategories", {});
+      case 3: return make_request("Browser", "All Regions", "allregions", {});
+      case 4: {
+        region_ = rng_.uniform_int(1, shape_.regions);
+        return make_request("Browser", "Region", "region", {Value{region_}});
+      }
+      case 5: {
+        category_ = rng_.uniform_int(1, shape_.categories);
+        return make_request("Browser", "Category", "category", {Value{category_}});
+      }
+      case 6: {
+        category_ = rng_.uniform_int(1, shape_.categories);
+        if (region_ == 0) region_ = rng_.uniform_int(1, shape_.regions);
+        return make_request("Browser", "Category & Region", "categoryregion",
+                            {Value{category_}, Value{region_}});
+      }
+      case 7: {
+        item_ = pick_item();
+        return make_request("Browser", "Item", "item", {Value{item_}});
+      }
+      case 8: {
+        item_ = pick_item();
+        return make_request("Browser", "Bids", "bids", {Value{item_}});
+      }
+      default: {
+        std::int64_t user = item_ != 0 ? shape_.item_seller(item_)
+                                       : rng_.uniform_int(1, shape_.users);
+        return make_request("Browser", "User Info", "userinfo", {Value{user}});
+      }
+    }
+  }
+
+  const char* pattern() const override { return "Browser"; }
+
+ private:
+  [[nodiscard]] std::int64_t pick_item() {
+    if (category_ == 0) category_ = rng_.uniform_int(1, shape_.categories);
+    // Items of a category are spaced `categories` apart (item_category).
+    const auto per_cat = static_cast<std::int64_t>(shape_.items / shape_.categories);
+    const std::int64_t k = rng_.uniform_int(0, per_cat - 1);
+    return (category_ - 1) + k * shape_.categories + 1;
+  }
+
+  Shape shape_;
+  sim::RngStream rng_;
+  int issued_ = 0;
+  std::int64_t region_ = 0;
+  std::int64_t category_ = 0;
+  std::int64_t item_ = 0;
+};
+
+/// Table 5: the fixed bidder scenario — bid on an item, then leave a
+/// comment for its seller.
+class BidderScript final : public workload::SessionScript {
+ public:
+  BidderScript(Shape shape, sim::RngStream rng) : shape_(shape), rng_(std::move(rng)) {
+    user_ = rng_.uniform_int(1, shape_.users);
+    // Bidding concentrates on active auctions: 80% of bids go to a hot
+    // tenth of the items (auction traffic is heavily skewed).
+    const std::int64_t hot = std::max<std::int64_t>(1, shape_.items / 10);
+    item_ = rng_.bernoulli(0.8) ? rng_.uniform_int(1, hot)
+                                : rng_.uniform_int(1, shape_.items);
+    seller_ = shape_.item_seller(item_);
+    amount_ = rng_.uniform(20.0, 200.0);
+  }
+
+  std::optional<workload::PageRequest> next() override {
+    const std::string nick = "user" + std::to_string(user_);
+    switch (step_++) {
+      case 0: return make_request("Bidder", "Main", "main", {});
+      case 1: return make_request("Bidder", "Put Bid Auth", "putbidauth", {});
+      case 2:
+        return make_request("Bidder", "Put Bid Form", "putbidform",
+                            {Value{nick}, Value{item_}});
+      case 3:
+        return make_request("Bidder", "Store Bid", "storebid",
+                            {Value{user_}, Value{item_}, Value{amount_}});
+      case 4: return make_request("Bidder", "Put Comment Auth", "putcommentauth", {});
+      case 5:
+        return make_request("Bidder", "Put Comment Form", "putcommentform",
+                            {Value{nick}, Value{seller_}});
+      case 6:
+        return make_request("Bidder", "Store Comment", "storecomment",
+                            {Value{user_}, Value{seller_}, Value{item_}});
+      default: return std::nullopt;
+    }
+  }
+
+  const char* pattern() const override { return "Bidder"; }
+
+ private:
+  Shape shape_;
+  sim::RngStream rng_;
+  int step_ = 0;
+  std::int64_t user_ = 0;
+  std::int64_t item_ = 0;
+  std::int64_t seller_ = 0;
+  double amount_ = 0.0;
+};
+
+}  // namespace
+
+workload::SessionFactory RubisApp::browser_factory(sim::RngStream rng) const {
+  auto master = std::make_shared<sim::RngStream>(std::move(rng));
+  auto counter = std::make_shared<int>(0);
+  Shape shape = shape_;
+  return [master, counter, shape]() -> std::unique_ptr<workload::SessionScript> {
+    return std::make_unique<BrowserScript>(shape,
+                                           master->fork("s" + std::to_string((*counter)++)));
+  };
+}
+
+workload::SessionFactory RubisApp::bidder_factory(sim::RngStream rng) const {
+  auto master = std::make_shared<sim::RngStream>(std::move(rng));
+  auto counter = std::make_shared<int>(0);
+  Shape shape = shape_;
+  return [master, counter, shape]() -> std::unique_ptr<workload::SessionScript> {
+    return std::make_unique<BidderScript>(shape,
+                                          master->fork("s" + std::to_string((*counter)++)));
+  };
+}
+
+AppDriver RubisApp::driver() const {
+  AppDriver d;
+  d.name = "RUBiS";
+  d.app = &app_;
+  d.meta = &meta_;
+  d.install_database = [this](db::Database& db) { install_database(db); };
+  d.bind_entities = [this](comp::Runtime& rt) { bind_entities(rt); };
+  d.browser_factory = [this](sim::RngStream rng) { return browser_factory(std::move(rng)); };
+  d.writer_factory = [this](sim::RngStream rng) { return bidder_factory(std::move(rng)); };
+  d.table_pages = table_pages();
+  d.writer_pattern = "Bidder";
+  d.db_colocated = true;  // MySQL on the main app-server workstation (§3.1)
+  return d;
+}
+
+std::vector<std::pair<std::string, std::string>> RubisApp::table_pages() {
+  return {{"Browser", "Main"},
+          {"Browser", "Browse"},
+          {"Browser", "All Categories"},
+          {"Browser", "All Regions"},
+          {"Browser", "Region"},
+          {"Browser", "Category"},
+          {"Browser", "Category & Region"},
+          {"Browser", "Item"},
+          {"Browser", "Bids"},
+          {"Browser", "User Info"},
+          {"Bidder", "Main"},
+          {"Bidder", "Put Bid Auth"},
+          {"Bidder", "Put Bid Form"},
+          {"Bidder", "Store Bid"},
+          {"Bidder", "Put Comment Auth"},
+          {"Bidder", "Put Comment Form"},
+          {"Bidder", "Store Comment"}};
+  }
+
+}  // namespace mutsvc::apps::rubis

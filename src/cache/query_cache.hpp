@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.hpp"
+#include "net/types.hpp"
+
+namespace mutsvc::cache {
+
+/// Edge-server cache of aggregate SQL query results (§4.4).
+///
+/// Keys are `db::Query::cache_key()` strings. Invalidation is by exact key
+/// or by prefix (a write to item 7 invalidates every cached bid list for
+/// item 7 regardless of parameters). Refresh can be pull (drop, re-execute
+/// at the main server on next read) or push (the updater sends new rows).
+class QueryCache {
+ public:
+  struct Entry {
+    std::vector<db::Row> rows;
+    std::uint64_t version = 0;
+  };
+
+  [[nodiscard]] std::optional<Entry> get(const std::string& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const { return entries_.contains(key); }
+
+  /// Version-monotonic, like ReadOnlyCache::fill: a pull result that raced
+  /// with a concurrent push never clobbers newer state.
+  void fill(const std::string& key, std::vector<db::Row> rows, std::uint64_t version = 0) {
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.version > version) return;
+    entries_[key] = Entry{std::move(rows), version};
+  }
+
+  void apply_push(const std::string& key, std::vector<db::Row> rows, std::uint64_t version) {
+    ++pushes_applied_;
+    entries_[key] = Entry{std::move(rows), version};
+  }
+
+  void invalidate(const std::string& key) {
+    if (entries_.erase(key) > 0) ++invalidations_;
+  }
+
+  /// Drops every entry whose key starts with `prefix`.
+  std::size_t invalidate_prefix(const std::string& prefix) {
+    std::size_t dropped = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.starts_with(prefix)) {
+        it = entries_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    invalidations_ += dropped;
+    return dropped;
+  }
+
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t pushes_applied() const { return pushes_applied_; }
+  [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+
+  [[nodiscard]] double hit_rate() const {
+    auto total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t pushes_applied_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace mutsvc::cache

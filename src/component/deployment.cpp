@@ -1,0 +1,37 @@
+#include "component/deployment.hpp"
+
+#include <sstream>
+
+namespace mutsvc::comp {
+
+std::string DeploymentPlan::describe() const {
+  std::ostringstream os;
+  os << "features:";
+  for (Feature f : {Feature::kRemoteFacade, Feature::kStubCaching,
+                    Feature::kStatefulComponentCaching, Feature::kQueryCaching,
+                    Feature::kAsyncUpdates}) {
+    if (has(f)) os << " " << to_string(f);
+  }
+  os << "\nplacement:\n";
+  for (const auto& [comp, nodes] : placement_) {
+    os << "  " << comp << " ->";
+    for (auto n : nodes) os << " " << n;
+    os << "\n";
+  }
+  if (!ro_replicas_.empty()) {
+    os << "read-only replicas:\n";
+    for (const auto& [entity, nodes] : ro_replicas_) {
+      os << "  " << entity << " ->";
+      for (auto n : nodes) os << " " << n;
+      os << "\n";
+    }
+  }
+  if (!query_cache_nodes_.empty()) {
+    os << "query caches:";
+    for (auto n : query_cache_nodes_) os << " " << n;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mutsvc::comp

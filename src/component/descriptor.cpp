@@ -1,0 +1,168 @@
+#include "component/descriptor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mutsvc::comp {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is{s};
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string node_name(const net::Topology& topo, net::NodeId id) { return topo.node(id).name; }
+
+std::string join_nodes(const net::Topology& topo, const std::vector<net::NodeId>& nodes) {
+  std::string out;
+  for (auto n : nodes) {
+    if (!out.empty()) out += ", ";
+    out += node_name(topo, n);
+  }
+  return out;
+}
+
+}  // namespace
+
+Feature feature_from_string(const std::string& name) {
+  for (Feature f : {Feature::kRemoteFacade, Feature::kStubCaching,
+                    Feature::kStatefulComponentCaching, Feature::kQueryCaching,
+                    Feature::kAsyncUpdates}) {
+    if (name == to_string(f)) return f;
+  }
+  throw std::invalid_argument("descriptor: unknown feature: " + name);
+}
+
+QueryRefreshMode refresh_from_string(const std::string& name) {
+  if (name == "pull") return QueryRefreshMode::kPull;
+  if (name == "push") return QueryRefreshMode::kPush;
+  throw std::invalid_argument("descriptor: unknown query-refresh mode: " + name);
+}
+
+std::string serialize_descriptor(const DeploymentPlan& plan, const net::Topology& topo) {
+  std::ostringstream os;
+  os << "# mutsvc extended deployment descriptor\n";
+  os << "main-server: " << node_name(topo, plan.main_server()) << "\n";
+  os << "edge-servers: " << join_nodes(topo, plan.edge_servers()) << "\n";
+
+  os << "features:";
+  bool first = true;
+  for (Feature f : {Feature::kRemoteFacade, Feature::kStubCaching,
+                    Feature::kStatefulComponentCaching, Feature::kQueryCaching,
+                    Feature::kAsyncUpdates}) {
+    if (plan.has(f)) {
+      os << (first ? " " : ", ") << to_string(f);
+      first = false;
+    }
+  }
+  os << "\n";
+  os << "query-refresh: " << (plan.query_refresh() == QueryRefreshMode::kPull ? "pull" : "push")
+     << "\n";
+  os << "staleness-bound: " << plan.staleness_bound() << "\n";
+
+  os << "\n[placement]\n";
+  for (const auto& [component, nodes] : plan.placements()) {
+    os << component << ": " << join_nodes(topo, nodes) << "\n";
+  }
+
+  if (!plan.ro_replicas().empty()) {
+    os << "\n[read-only-replicas]\n";
+    for (const auto& [entity, nodes] : plan.ro_replicas()) {
+      os << entity << ": "
+         << join_nodes(topo, std::vector<net::NodeId>(nodes.begin(), nodes.end())) << "\n";
+    }
+  }
+
+  if (!plan.query_cache_nodes().empty()) {
+    os << "\n[query-caches]\n"
+       << join_nodes(topo, std::vector<net::NodeId>(plan.query_cache_nodes().begin(),
+                                                    plan.query_cache_nodes().end()))
+       << "\n";
+  }
+
+  os << "\n[entry-points]\n";
+  for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
+    const net::NodeId client{i};
+    if (topo.node(client).role != net::NodeRole::kClientMachine) continue;
+    try {
+      os << node_name(topo, client) << ": " << node_name(topo, plan.entry_point(client)) << "\n";
+    } catch (const std::invalid_argument&) {
+      // client machine without an entry point: omit
+    }
+  }
+  return os.str();
+}
+
+DeploymentPlan parse_descriptor(const std::string& text, const net::Topology& topo) {
+  DeploymentPlan plan;
+  std::istringstream is{text};
+  std::string line;
+  std::string section;
+
+  while (std::getline(is, line)) {
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') throw std::invalid_argument("descriptor: malformed section");
+      section = line.substr(1, line.size() - 2);
+      continue;
+    }
+
+    if (section == "query-caches") {
+      for (const auto& n : split_list(line)) plan.add_query_cache(topo.find(n));
+      continue;
+    }
+
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("descriptor: expected 'key: value': " + line);
+    }
+    const std::string key = trim(line.substr(0, colon));
+    const std::string value = trim(line.substr(colon + 1));
+
+    if (section.empty()) {
+      if (key == "main-server") {
+        plan.set_main_server(topo.find(value));
+      } else if (key == "edge-servers") {
+        for (const auto& n : split_list(value)) plan.add_edge_server(topo.find(n));
+      } else if (key == "features") {
+        for (const auto& f : split_list(value)) plan.enable(feature_from_string(f));
+      } else if (key == "query-refresh") {
+        plan.set_query_refresh(refresh_from_string(value));
+      } else if (key == "staleness-bound") {
+        plan.set_staleness_bound(static_cast<std::uint32_t>(std::stoul(value)));
+      } else {
+        throw std::invalid_argument("descriptor: unknown key: " + key);
+      }
+    } else if (section == "placement") {
+      for (const auto& n : split_list(value)) plan.place(key, topo.find(n));
+    } else if (section == "read-only-replicas") {
+      for (const auto& n : split_list(value)) plan.replicate_read_only(key, topo.find(n));
+    } else if (section == "entry-points") {
+      plan.set_entry_point(topo.find(key), topo.find(value));
+    } else {
+      throw std::invalid_argument("descriptor: unknown section: " + section);
+    }
+  }
+  return plan;
+}
+
+}  // namespace mutsvc::comp

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "component/deployment.hpp"
+#include "net/topology.hpp"
+
+namespace mutsvc::comp {
+
+/// The "(extended) deployment descriptor" of §5, as a concrete artifact:
+/// a declarative text format capturing placement, features, read-only
+/// replication, query caches, entry points and consistency parameters.
+/// An application deployer edits this; the container runtime realizes it.
+///
+/// Format (``#`` comments, blank lines ignored)::
+///
+///   main-server: main-as
+///   edge-servers: edge-as-1, edge-as-2
+///   features: remote-facade, stub-caching
+///   query-refresh: push
+///   staleness-bound: 0
+///
+///   [placement]
+///   Catalog: main-as, edge-as-1, edge-as-2
+///
+///   [read-only-replicas]
+///   Item: edge-as-1, edge-as-2
+///
+///   [query-caches]
+///   edge-as-1, edge-as-2
+///
+///   [entry-points]
+///   clients-main: main-as
+[[nodiscard]] std::string serialize_descriptor(const DeploymentPlan& plan,
+                                               const net::Topology& topo);
+
+/// Parses a descriptor against a topology (node names must resolve).
+/// Throws std::invalid_argument on malformed input or unknown names.
+[[nodiscard]] DeploymentPlan parse_descriptor(const std::string& text,
+                                              const net::Topology& topo);
+
+/// Feature name round-trip helpers.
+[[nodiscard]] Feature feature_from_string(const std::string& name);
+[[nodiscard]] QueryRefreshMode refresh_from_string(const std::string& name);
+
+}  // namespace mutsvc::comp

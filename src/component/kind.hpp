@@ -1,0 +1,54 @@
+#pragma once
+
+namespace mutsvc::comp {
+
+/// The J2EE component taxonomy the paper works with (§2.2).
+enum class ComponentKind {
+  kServlet,               // web tier, holds HTTP session state
+  kJsp,                   // web tier, presentation
+  kJavaBean,              // web tier helper (e.g. CatalogWebImpl)
+  kStatelessSessionBean,  // generic services / façades
+  kStatefulSessionBean,   // per-client session state (ShoppingCart)
+  kEntityBeanRW,          // shared transactional state (read-write master)
+  kEntityBeanRO,          // read-only replica of an entity bean (§4.3)
+  kMessageDrivenBean,     // asynchronous façade (§4.5)
+};
+
+[[nodiscard]] constexpr const char* to_string(ComponentKind k) {
+  switch (k) {
+    case ComponentKind::kServlet: return "servlet";
+    case ComponentKind::kJsp: return "jsp";
+    case ComponentKind::kJavaBean: return "javabean";
+    case ComponentKind::kStatelessSessionBean: return "stateless-session";
+    case ComponentKind::kStatefulSessionBean: return "stateful-session";
+    case ComponentKind::kEntityBeanRW: return "entity-rw";
+    case ComponentKind::kEntityBeanRO: return "entity-ro";
+    case ComponentKind::kMessageDrivenBean: return "message-driven";
+  }
+  return "?";
+}
+
+/// Web-tier components live in the servlet container.
+[[nodiscard]] constexpr bool is_web_tier(ComponentKind k) {
+  return k == ComponentKind::kServlet || k == ComponentKind::kJsp ||
+         k == ComponentKind::kJavaBean;
+}
+
+/// Session-oriented stateful components: per-client state, freely
+/// deployable at edges (§2.2 "since stateful session components are not
+/// shared they can be deployed in edge servers").
+[[nodiscard]] constexpr bool is_session_state(ComponentKind k) {
+  return k == ComponentKind::kServlet || k == ComponentKind::kStatefulSessionBean;
+}
+
+/// Shared stateful components: the domain layer, co-located with the data
+/// source unless replicated read-only.
+[[nodiscard]] constexpr bool is_shared_state(ComponentKind k) {
+  return k == ComponentKind::kEntityBeanRW || k == ComponentKind::kEntityBeanRO;
+}
+
+[[nodiscard]] constexpr bool is_stateless(ComponentKind k) {
+  return k == ComponentKind::kStatelessSessionBean || k == ComponentKind::kMessageDrivenBean;
+}
+
+}  // namespace mutsvc::comp

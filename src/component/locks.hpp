@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace mutsvc::comp {
+
+/// Per-entity-instance exclusive locks.
+///
+/// Models the container's transactional serialization on entity beans: a
+/// write transaction holds the (entity, pk) lock until commit — including,
+/// under blocking push (§4.3), the wide-area propagation, which is exactly
+/// the reduced-concurrency effect the paper warns about.
+class LockManager {
+ public:
+  explicit LockManager(sim::Simulator& sim) : sim_(sim) {}
+
+  using Key = std::pair<std::string, std::int64_t>;
+
+  [[nodiscard]] sim::Task<void> acquire(const Key& key) {
+    ++acquisitions_;
+    sim::SimMutex& m = mutex_for(key);
+    if (m.locked()) ++contended_;
+    co_await m.acquire();
+  }
+
+  void release(const Key& key) { mutex_for(key).release(); }
+
+  [[nodiscard]] bool is_locked(const Key& key) {
+    auto it = locks_.find(key);
+    return it != locks_.end() && it->second->locked();
+  }
+
+  [[nodiscard]] std::uint64_t acquisitions() const { return acquisitions_; }
+  [[nodiscard]] std::uint64_t contended_acquisitions() const { return contended_; }
+
+ private:
+  sim::SimMutex& mutex_for(const Key& key) {
+    auto it = locks_.find(key);
+    if (it == locks_.end()) {
+      it = locks_.emplace(key, std::make_unique<sim::SimMutex>(sim_)).first;
+    }
+    return *it->second;
+  }
+
+  sim::Simulator& sim_;
+  std::map<Key, std::unique_ptr<sim::SimMutex>> locks_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contended_ = 0;
+};
+
+}  // namespace mutsvc::comp

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "component/kind.hpp"
+#include "net/types.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mutsvc::comp {
+
+class CallContext;
+
+/// A method body is a coroutine written against the CallContext API; it can
+/// consume CPU, call other components, issue queries, and read/write
+/// entity state. Bodies may be empty (pure-cost methods).
+using MethodBody = std::function<sim::Task<void>(CallContext&)>;
+
+struct MethodDef {
+  std::string name;
+  sim::Duration cpu = sim::us(300);   // business-logic demand at the hosting node
+  /// Non-CPU service latency (blocking I/O, reflection, GC, logging) — the
+  /// part of a J2EE request's residence time that does not saturate a
+  /// processor. Keeps modelled CPU utilization in the paper's <40% band
+  /// while matching observed local response times.
+  sim::Duration latency = sim::Duration::zero();
+  net::Bytes args_bytes = 200;        // marshalled argument size
+  net::Bytes result_bytes = 400;      // marshalled result size (excluding data rows)
+  MethodBody body;                    // empty => cost-only method
+};
+
+/// A component type: an EJB, servlet, or web helper, with its methods.
+class ComponentDef {
+ public:
+  ComponentDef(std::string name, ComponentKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ComponentKind kind() const { return kind_; }
+
+  /// EJB 2.0 local interfaces (§5): a local-only component may never be the
+  /// target of a remote invocation; the runtime enforces this.
+  ComponentDef& local_interface_only(bool v = true) {
+    local_only_ = v;
+    return *this;
+  }
+  [[nodiscard]] bool is_local_only() const { return local_only_; }
+
+  ComponentDef& method(MethodDef m) {
+    auto name = m.name;
+    if (!methods_.emplace(name, std::move(m)).second) {
+      throw std::invalid_argument("ComponentDef " + name_ + ": duplicate method " + name);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] const MethodDef& find_method(const std::string& m) const {
+    auto it = methods_.find(m);
+    if (it == methods_.end()) {
+      throw std::invalid_argument("ComponentDef " + name_ + ": no method " + m);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, MethodDef>& methods() const { return methods_; }
+
+ private:
+  std::string name_;
+  ComponentKind kind_;
+  bool local_only_ = false;
+  std::map<std::string, MethodDef> methods_;
+};
+
+/// A component-based application: the registry of component definitions.
+class Application {
+ public:
+  explicit Application(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  ComponentDef& define(const std::string& name, ComponentKind kind) {
+    auto [it, inserted] = components_.emplace(name, ComponentDef{name, kind});
+    if (!inserted) throw std::invalid_argument("Application: component exists: " + name);
+    return it->second;
+  }
+
+  [[nodiscard]] const ComponentDef& component(const std::string& name) const {
+    auto it = components_.find(name);
+    if (it == components_.end()) {
+      throw std::invalid_argument("Application " + name_ + ": no component " + name);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool has_component(const std::string& name) const {
+    return components_.contains(name);
+  }
+
+  [[nodiscard]] std::vector<std::string> component_names() const {
+    std::vector<std::string> out;
+    out.reserve(components_.size());
+    for (const auto& [k, v] : components_) out.push_back(k);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t component_count() const { return components_.size(); }
+
+ private:
+  std::string name_;
+  std::map<std::string, ComponentDef> components_;
+};
+
+}  // namespace mutsvc::comp

@@ -1,0 +1,584 @@
+#include "component/runtime.hpp"
+
+#include <stdexcept>
+
+namespace mutsvc::comp {
+
+// --- CallContext thin wrappers ----------------------------------------------
+
+const DeploymentPlan& CallContext::plan() const { return rt_.plan(); }
+bool CallContext::has(Feature f) const { return rt_.plan().has(f); }
+
+sim::Task<void> CallContext::cpu(sim::Duration d) {
+  return rt_.topology().node(node_).cpu->consume(d);
+}
+
+namespace {
+std::string query_class(const db::Query& q) {
+  return "query:" + (q.aggregate_name.empty() ? q.table : q.aggregate_name);
+}
+}  // namespace
+
+sim::Task<CallResult> CallContext::call(const std::string& component, const std::string& method,
+                                        std::vector<db::Value> args) {
+  return rt_.call_from(node_, component, method, std::move(args), comp_->name(), trace_);
+}
+
+sim::Task<db::QueryResult> CallContext::direct_query(db::Query q) {
+  rt_.record_interaction(comp_->name(), "__database__", 400, !q.is_read());
+  if (trace_ == nullptr) return rt_.jdbc_for(node_).execute(q);
+  return [](Runtime& rt, net::NodeId node, db::Query q, TraceSink* trace)
+             -> sim::Task<db::QueryResult> {
+    const sim::SimTime t0 = rt.simulator().now();
+    db::QueryResult res = co_await rt.jdbc_for(node).execute(std::move(q));
+    trace->add(SpanKind::kJdbc, rt.simulator().now() - t0);
+    co_return res;
+  }(rt_, node_, std::move(q), trace_);
+}
+
+sim::Task<std::optional<db::Row>> CallContext::read_entity(const std::string& entity,
+                                                           std::int64_t pk) {
+  rt_.record_interaction(comp_->name(), entity, 256);
+  return rt_.read_entity_impl(node_, entity, pk, trace_);
+}
+
+sim::Task<db::QueryResult> CallContext::cached_query(db::Query q) {
+  rt_.record_interaction(comp_->name(), query_class(q), 1024);
+  return rt_.cached_query_impl(node_, std::move(q), trace_);
+}
+
+sim::Task<void> CallContext::write_entity(const std::string& entity, std::int64_t pk,
+                                          std::string column, db::Value v,
+                                          std::vector<db::Query> affected_queries) {
+  rt_.record_interaction(comp_->name(), entity, 256, /*is_write=*/true);
+  for (const auto& q : affected_queries) {
+    rt_.record_interaction(comp_->name(), query_class(q), 64, /*is_write=*/true);
+  }
+  db::Query w = db::Query::update(rt_.entity_table(entity), pk, std::move(column), std::move(v));
+  return rt_.write_impl(this, node_, entity, std::move(w), std::move(affected_queries));
+}
+
+sim::Task<void> CallContext::insert_row(const std::string& entity, db::Row row,
+                                        std::vector<db::Query> affected_queries) {
+  rt_.record_interaction(comp_->name(), entity, 256, /*is_write=*/true);
+  for (const auto& q : affected_queries) {
+    rt_.record_interaction(comp_->name(), query_class(q), 64, /*is_write=*/true);
+  }
+  db::Query w = db::Query::insert(rt_.entity_table(entity), std::move(row));
+  return rt_.write_impl(this, node_, entity, std::move(w), std::move(affected_queries));
+}
+
+std::int64_t CallContext::allocate_id(const std::string& table) {
+  return rt_.database().allocate_id(table);
+}
+
+// --- Runtime ------------------------------------------------------------------
+
+Runtime::Runtime(sim::Simulator& sim, net::Topology& topo, net::Network& net,
+                 net::RmiTransport& rmi, db::Database& db, const Application& app,
+                 DeploymentPlan plan, RuntimeConfig cfg)
+    : sim_(sim),
+      topo_(topo),
+      net_(net),
+      rmi_(rmi),
+      db_(db),
+      app_(app),
+      plan_(std::move(plan)),
+      cfg_(cfg),
+      locks_(sim) {
+  net::RmiConfig push_cfg = rmi.config();
+  push_cfg.extra_rtt_prob = 0.0;
+  update_rmi_ = std::make_unique<net::RmiTransport>(net_, push_cfg);
+  if (plan_.has(Feature::kAsyncUpdates)) {
+    topic_ = std::make_unique<msg::Topic<cache::UpdateBatch>>(
+        net_, plan_.main_server(), "updates", cfg_.mdb_dispatch);
+    for (net::NodeId edge : update_targets()) {
+      topic_->subscribe(edge, [this, edge](const cache::UpdateBatch& batch) {
+        return apply_batch(edge, batch);
+      });
+    }
+  }
+}
+
+const std::string& Runtime::entity_table(const std::string& entity) const {
+  auto it = entity_tables_.find(entity);
+  if (it == entity_tables_.end()) {
+    throw std::invalid_argument("Runtime: entity not bound to a table: " + entity);
+  }
+  return it->second;
+}
+
+cache::ReadOnlyCache& Runtime::ro_cache(net::NodeId node, const std::string& entity) {
+  auto key = std::make_pair(node, entity);
+  auto it = ro_caches_.find(key);
+  if (it == ro_caches_.end()) {
+    it = ro_caches_.emplace(key, std::make_unique<cache::ReadOnlyCache>(entity)).first;
+  }
+  return *it->second;
+}
+
+cache::QueryCache& Runtime::query_cache(net::NodeId node) {
+  auto it = query_caches_.find(node);
+  if (it == query_caches_.end()) {
+    it = query_caches_.emplace(node, std::make_unique<cache::QueryCache>()).first;
+  }
+  return *it->second;
+}
+
+db::JdbcClient& Runtime::jdbc_for(net::NodeId node) {
+  auto it = jdbc_clients_.find(node);
+  if (it == jdbc_clients_.end()) {
+    it = jdbc_clients_
+             .emplace(node, std::make_unique<db::JdbcClient>(net_, db_, node, cfg_.jdbc))
+             .first;
+  }
+  return *it->second;
+}
+
+net::Bytes Runtime::values_bytes(const std::vector<db::Value>& vals) {
+  net::Bytes total = 0;
+  for (const auto& v : vals) total += db::wire_size(v);
+  return total;
+}
+
+net::Bytes Runtime::rows_bytes(const std::vector<db::Row>& rows) {
+  net::Bytes total = 0;
+  for (const auto& r : rows) total += db::wire_size(r);
+  return total;
+}
+
+sim::Task<CallResult> Runtime::invoke(net::NodeId caller_node, const std::string& component,
+                                      const std::string& method, std::vector<db::Value> args,
+                                      TraceSink* trace) {
+  return call_from(caller_node, component, method, std::move(args), "__client__", trace);
+}
+
+sim::Task<CallResult> Runtime::call_from(net::NodeId caller, std::string comp_name,
+                                         std::string method_name, std::vector<db::Value> args,
+                                         std::string caller_component, TraceSink* trace) {
+  const ComponentDef& comp = app_.component(comp_name);
+  const MethodDef& method = comp.find_method(method_name);
+  record_interaction(caller_component, comp_name, method.args_bytes + method.result_bytes);
+  const net::NodeId target = plan_.resolve(comp_name, caller);
+
+  CallResult out;
+  if (target == caller) {
+    co_await topo_.node(caller).cpu->consume(cfg_.local_dispatch);
+    co_await dispatch(caller, comp, method, std::move(args), &out.rows, trace);
+    co_return out;
+  }
+
+  if (comp.is_local_only()) {
+    throw std::logic_error("Runtime: remote invocation of local-only component " + comp_name);
+  }
+
+  // JNDI home lookup / remote stub creation. With the EJBHomeFactory pattern
+  // (§4.2) this happens once per (node, component); without it, every call.
+  const bool need_stub =
+      !plan_.has(Feature::kStubCaching) || stubs_.need_stub_exchange(caller, comp_name);
+  if (need_stub) {
+    const sim::SimTime s0 = sim_.now();
+    co_await rmi_.stub_exchange(caller, target);
+    if (trace) trace->add(SpanKind::kStub, sim_.now() - s0);
+  }
+
+  const net::Bytes args_size = method.args_bytes + values_bytes(args);
+  const sim::SimTime t0 = sim_.now();
+  sim::Duration server_work = sim::Duration::zero();
+  co_await rmi_.call_dynamic(caller, target, args_size, [&]() -> sim::Task<net::Bytes> {
+    const sim::SimTime w0 = sim_.now();
+    co_await dispatch(target, comp, method, std::move(args), &out.rows, trace);
+    server_work = sim_.now() - w0;
+    co_return method.result_bytes + rows_bytes(out.rows);
+  });
+  if (trace) trace->add(SpanKind::kRmiWire, (sim_.now() - t0) - server_work);
+  co_return out;
+}
+
+sim::Task<void> Runtime::dispatch(net::NodeId node, const ComponentDef& comp,
+                                  const MethodDef& method, std::vector<db::Value> args,
+                                  std::vector<db::Row>* out, TraceSink* trace) {
+  {
+    const sim::SimTime c0 = sim_.now();
+    co_await topo_.node(node).cpu->consume(method.cpu);
+    if (trace) trace->add(SpanKind::kCpu, sim_.now() - c0);
+  }
+  if (method.latency > sim::Duration::zero()) {
+    co_await sim_.wait(method.latency);
+    if (trace) trace->add(SpanKind::kLatency, method.latency);
+  }
+  if (method.body) {
+    CallContext ctx{*this, node, comp, method, std::move(args)};
+    ctx.trace_ = trace;
+    try {
+      co_await method.body(ctx);
+      co_await commit_transaction(ctx);
+    } catch (...) {
+      // Abort: release locks without propagating edge updates.
+      for (auto it = ctx.tx_locks_.rbegin(); it != ctx.tx_locks_.rend(); ++it) {
+        locks_.release(*it);
+      }
+      ctx.tx_locks_.clear();
+      throw;
+    }
+    if (out != nullptr) *out = std::move(ctx.result);
+  }
+}
+
+sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
+                                                            std::string entity,
+                                                            std::int64_t pk, TraceSink* trace) {
+  const std::string vkey = version_key(entity, pk);
+  const std::string& table = entity_table(entity);
+  const net::NodeId primary = plan_.main_server();
+
+  if (plan_.has(Feature::kStatefulComponentCaching) && plan_.has_ro_replica(entity, node)) {
+    cache::ReadOnlyCache& cache = ro_cache(node, entity);
+    co_await topo_.node(node).cpu->consume(cfg_.cache_access);
+    if (trace) trace->add(SpanKind::kCacheRead, cfg_.cache_access);
+    if (auto entry = cache.get_if_fresh(pk, sim_.now(), cfg_.ro_ttl)) {
+      consistency_.observe_read(vkey, entry->version);
+      co_return entry->row;
+    }
+    // Pull refresh: one RMI to the remote façade co-located with the data
+    // (read-only beans "refresh their content by querying a remote façade
+    // upon the first business method call after the invalidation", §4.3).
+    std::optional<db::Row> fetched;
+    std::uint64_t version = 0;
+    const sim::SimTime t0 = sim_.now();
+    sim::Duration server_work = sim::Duration::zero();
+    co_await rmi_.call_dynamic(node, primary, 64, [&]() -> sim::Task<net::Bytes> {
+      const sim::SimTime w0 = sim_.now();
+      co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
+      db::QueryResult res = co_await jdbc_for(primary).execute(db::Query::pk_lookup(table, pk));
+      if (!res.rows.empty()) fetched = std::move(res.rows[0]);
+      version = consistency_.master_version(vkey);
+      server_work = sim_.now() - w0;
+      co_return res.wire_bytes();
+    });
+    if (trace) {
+      trace->add(SpanKind::kJdbc, server_work);
+      trace->add(SpanKind::kRmiWire, (sim_.now() - t0) - server_work);
+    }
+    if (fetched.has_value()) {
+      cache.fill(pk, *fetched, version, sim_.now());
+      consistency_.observe_read(vkey, version);
+    }
+    co_return fetched;
+  }
+
+  // No local replica: read through the entity bean at its primary.
+  auto read_at_primary = [&]() -> sim::Task<std::optional<db::Row>> {
+    const sim::SimTime j0 = sim_.now();
+    co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
+    db::QueryResult res = co_await jdbc_for(primary).execute(db::Query::pk_lookup(table, pk));
+    if (trace) trace->add(SpanKind::kJdbc, sim_.now() - j0);
+    consistency_.observe_read(vkey, consistency_.master_version(vkey));
+    if (res.rows.empty()) co_return std::nullopt;
+    co_return std::move(res.rows[0]);
+  };
+
+  if (node == primary) co_return co_await read_at_primary();
+
+  std::optional<db::Row> fetched;
+  const sim::SimTime t0 = sim_.now();
+  sim::Duration server_work = sim::Duration::zero();
+  co_await rmi_.call_dynamic(node, primary, 64, [&]() -> sim::Task<net::Bytes> {
+    const sim::SimTime w0 = sim_.now();
+    fetched = co_await read_at_primary();
+    server_work = sim_.now() - w0;
+    co_return fetched ? db::wire_size(*fetched) + 16 : 16;
+  });
+  if (trace) trace->add(SpanKind::kRmiWire, (sim_.now() - t0) - server_work);
+  co_return fetched;
+}
+
+sim::Task<db::QueryResult> Runtime::cached_query_impl(net::NodeId node, db::Query q,
+                                                      TraceSink* trace) {
+  if (plan_.has(Feature::kQueryCaching) && plan_.has_query_cache(node) && q.is_cacheable()) {
+    const std::string key = q.cache_key();
+    cache::QueryCache& qc = query_cache(node);
+    co_await topo_.node(node).cpu->consume(cfg_.cache_access);
+    if (trace) trace->add(SpanKind::kCacheRead, cfg_.cache_access);
+    if (auto entry = qc.get(key)) {
+      consistency_.observe_read(key, entry->version);
+      co_return db::QueryResult{entry->rows, 0};
+    }
+    // Capture the version BEFORE executing the query: the fill must never
+    // claim a version newer than the data it installs (a write committing
+    // mid-flight would otherwise let stale rows masquerade as fresh).
+    const std::uint64_t pre_version = consistency_.master_version(key);
+    db::QueryResult res = co_await query_at_main(node, q, trace);
+    qc.fill(key, res.rows, pre_version);
+    consistency_.observe_read(key, pre_version);
+    co_return res;
+  }
+  co_return co_await query_at_main(node, std::move(q), trace);
+}
+
+sim::Task<db::QueryResult> Runtime::query_at_main(net::NodeId from, db::Query q,
+                                                  TraceSink* trace) {
+  const net::NodeId primary = plan_.main_server();
+  if (from == primary) {
+    const sim::SimTime j0 = sim_.now();
+    db::QueryResult res = co_await jdbc_for(primary).execute(std::move(q));
+    if (trace) trace->add(SpanKind::kJdbc, sim_.now() - j0);
+    co_return res;
+  }
+  // One façade RMI to the main server, which runs the query next to the DB.
+  db::QueryResult res;
+  const sim::SimTime t0 = sim_.now();
+  sim::Duration server_work = sim::Duration::zero();
+  co_await rmi_.call_dynamic(from, primary, 128, [&]() -> sim::Task<net::Bytes> {
+    const sim::SimTime w0 = sim_.now();
+    co_await topo_.node(primary).cpu->consume(cfg_.local_dispatch);
+    res = co_await jdbc_for(primary).execute(q);
+    server_work = sim_.now() - w0;
+    co_return res.wire_bytes();
+  });
+  if (trace) {
+    trace->add(SpanKind::kJdbc, server_work);
+    trace->add(SpanKind::kRmiWire, (sim_.now() - t0) - server_work);
+  }
+  co_return res;
+}
+
+sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
+                                    std::string entity, db::Query write,
+                                    std::vector<db::Query> affected_queries) {
+  const net::NodeId primary = plan_.main_server();
+  if (node != primary) {
+    // Route through the façade co-located with the data source. The remote
+    // side commits as its own transaction.
+    co_await rmi_.call_dynamic(node, primary, 96 + values_bytes(write.row),
+                               [&]() -> sim::Task<net::Bytes> {
+                                 co_await write_impl(nullptr, primary, entity, std::move(write),
+                                                     std::move(affected_queries));
+                                 co_return 32;
+                               });
+    co_return;
+  }
+
+  TraceSink* trace = ctx != nullptr ? ctx->trace_ : nullptr;
+  const std::int64_t pk =
+      write.kind == db::QueryKind::kInsert ? db::as_int(write.row.at(0)) : write.pk;
+  const LockManager::Key lock_key{entity, pk};
+  const bool already_held = ctx != nullptr && ctx->holds_lock(lock_key);
+  if (!already_held) {
+    const sim::SimTime l0 = sim_.now();
+    co_await locks_.acquire(lock_key);
+    if (trace) trace->add(SpanKind::kLockWait, sim_.now() - l0);
+  }
+  if (ctx != nullptr && !already_held) ctx->tx_locks_.push_back(lock_key);
+
+  try {
+    const sim::SimTime j0 = sim_.now();
+    co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
+    (void)co_await jdbc_for(primary).execute(write);
+    if (trace) trace->add(SpanKind::kJdbc, sim_.now() - j0);
+  } catch (...) {
+    if (ctx == nullptr && !already_held) locks_.release(lock_key);
+    throw;
+  }
+
+  if (ctx != nullptr) {
+    // Defer propagation to the enclosing transaction's commit.
+    ctx->tx_writes_.push_back(CallContext::PendingWrite{entity, pk});
+    for (auto& q : affected_queries) ctx->tx_affected_.push_back(std::move(q));
+    co_return;
+  }
+
+  // Standalone write: commit immediately.
+  std::vector<CallContext::PendingWrite> writes{CallContext::PendingWrite{entity, pk}};
+  try {
+    co_await propagate(writes, affected_queries, nullptr);
+  } catch (...) {
+    locks_.release(lock_key);
+    throw;
+  }
+  locks_.release(lock_key);
+}
+
+sim::Task<void> Runtime::commit_transaction(CallContext& ctx) {
+  if (!ctx.tx_writes_.empty() || !ctx.tx_affected_.empty()) {
+    co_await propagate(ctx.tx_writes_, ctx.tx_affected_, ctx.trace_);
+    ctx.tx_writes_.clear();
+    ctx.tx_affected_.clear();
+  }
+  for (auto it = ctx.tx_locks_.rbegin(); it != ctx.tx_locks_.rend(); ++it) {
+    locks_.release(*it);
+  }
+  ctx.tx_locks_.clear();
+}
+
+sim::Task<void> Runtime::propagate(const std::vector<CallContext::PendingWrite>& writes,
+                                   const std::vector<db::Query>& affected, TraceSink* trace) {
+  // Pre-allocate one version per touched key. Allocation is monotone across
+  // concurrent transactions, so two writers sharing a query key get
+  // distinct versions and the replicas' monotonic apply keeps the newest.
+  std::map<std::string, std::uint64_t> versions;
+  for (const auto& w : writes) {
+    const std::string k = version_key(w.entity, w.pk);
+    if (!versions.contains(k)) versions.emplace(k, consistency_.allocate(k));
+  }
+  for (const auto& q : affected) {
+    const std::string k = q.cache_key();
+    if (!versions.contains(k)) versions.emplace(k, consistency_.allocate(k));
+  }
+  auto advance_all = [&] {
+    for (const auto& [k, v] : versions) consistency_.advance_to(k, v);
+  };
+
+  bool entity_replicated = false;
+  for (const auto& w : writes) {
+    if (!plan_.ro_replica_nodes(w.entity).empty()) entity_replicated = true;
+  }
+  const bool touches_edges =
+      entity_replicated || (!affected.empty() && !plan_.query_cache_nodes().empty());
+
+  switch (touches_edges ? plan_.update_mode() : UpdateMode::kNone) {
+    case UpdateMode::kNone:
+      advance_all();
+      break;
+    case UpdateMode::kBlockingPush: {
+      // §4.3 zero staleness: the pushed entries carry their allocated
+      // versions; the readable master only advances once every replica has
+      // applied the update, so no read can observe a master version newer
+      // than what its local replica holds.
+      cache::UpdateBatch batch = build_batch(writes, affected, versions);
+      co_await push_blocking(std::move(batch), trace);
+      advance_all();
+      break;
+    }
+    case UpdateMode::kAsyncPush: {
+      cache::UpdateBatch batch = build_batch(writes, affected, versions);
+      advance_all();
+      co_await publish_async(std::move(batch), trace);
+      break;
+    }
+  }
+}
+
+cache::UpdateBatch Runtime::build_batch(const std::vector<CallContext::PendingWrite>& writes,
+                                        const std::vector<db::Query>& affected,
+                                        const std::map<std::string, std::uint64_t>& versions) {
+  cache::UpdateBatch batch;
+  for (const auto& w : writes) {
+    // Last write wins for duplicate (entity, pk) pairs.
+    bool duplicate = false;
+    for (const auto& e : batch.entities) {
+      if (e.entity == w.entity && e.pk == w.pk) duplicate = true;
+    }
+    if (duplicate) continue;
+    if (auto row = db_.table(entity_table(w.entity)).get(w.pk)) {
+      batch.entities.push_back(cache::EntityUpdate{
+          w.entity, w.pk, std::move(*row), versions.at(version_key(w.entity, w.pk))});
+    }
+  }
+  const bool push_rows = plan_.query_refresh() == QueryRefreshMode::kPush;
+  for (const auto& q : affected) {
+    const std::string key = q.cache_key();
+    bool duplicate = false;
+    for (const auto& r : batch.queries) {
+      if (r.cache_key == key) duplicate = true;
+    }
+    if (duplicate) continue;
+    cache::QueryRefresh refresh;
+    refresh.cache_key = key;
+    refresh.version = versions.at(key);
+    if (push_rows) {
+      // Re-execute next to the data and ship the fresh rows (§4.4 push).
+      refresh.rows = db_.execute_immediate(q).rows;
+    } else {
+      refresh.invalidate_only = true;
+    }
+    batch.queries.push_back(std::move(refresh));
+  }
+  return batch;
+}
+
+std::vector<net::NodeId> Runtime::update_targets() const {
+  std::vector<net::NodeId> targets;
+  auto add = [&](net::NodeId n) {
+    if (n == plan_.main_server()) return;
+    for (auto t : targets) {
+      if (t == n) return;
+    }
+    targets.push_back(n);
+  };
+  for (const auto& [entity, nodes] : plan_.ro_replicas()) {
+    for (auto n : nodes) add(n);
+  }
+  for (auto n : plan_.query_cache_nodes()) add(n);
+  return targets;
+}
+
+sim::Task<void> Runtime::push_blocking(cache::UpdateBatch batch, TraceSink* trace) {
+  const sim::SimTime p0 = sim_.now();
+  // §4.3: "read-write entity beans block while the update is pushed to the
+  // read-only beans" — one bulk façade RMI per edge, in sequence, holding
+  // the transaction open.
+  const net::NodeId primary = plan_.main_server();
+  const net::Bytes bytes = batch.wire_bytes(cfg_.delta_encoding);
+  for (net::NodeId edge : update_targets()) {
+    try {
+      ++blocking_pushes_;
+      co_await update_rmi_->call_dynamic(primary, edge, bytes, [&]() -> sim::Task<net::Bytes> {
+        co_await apply_batch(edge, batch);
+        co_return 16;  // ack
+      });
+    } catch (const net::NoRouteError&) {
+      // Partitioned edge: the transaction proceeds; the replica will serve
+      // stale data until reachability returns (counted by the
+      // ConsistencyTracker — availability over freshness during failures).
+      ++failed_pushes_;
+    }
+  }
+  if (trace) trace->add(SpanKind::kPush, sim_.now() - p0);
+}
+
+sim::Task<void> Runtime::publish_async(cache::UpdateBatch batch, TraceSink* trace) {
+  const sim::SimTime p0 = sim_.now();
+  if (topic_ == nullptr) throw std::logic_error("Runtime: async updates without a topic");
+  ++async_publishes_;
+  // TACT-style order-error bound: block the writer while the slowest
+  // replica lags more than the configured number of batches.
+  const std::uint32_t bound = plan_.staleness_bound();
+  if (bound > 0 && topic_->subscriber_count() > 0) {
+    const auto subs = static_cast<std::uint64_t>(topic_->subscriber_count());
+    while (topic_->published() * subs - topic_->delivered() >= bound * subs) {
+      ++bounded_waits_;
+      co_await sim_.wait(sim::ms(5));
+    }
+  }
+  // The writer only waits for the local provider to accept the message.
+  co_await sim_.wait(cfg_.jms_accept);
+  const net::Bytes bytes = batch.wire_bytes(cfg_.delta_encoding);
+  co_await topic_->publish(plan_.main_server(), std::move(batch), bytes);
+  if (trace) trace->add(SpanKind::kPublish, sim_.now() - p0);
+}
+
+sim::Task<void> Runtime::apply_batch(net::NodeId node, const cache::UpdateBatch& batch) {
+  co_await topo_.node(node).cpu->consume(cfg_.apply_update);
+  for (const auto& e : batch.entities) {
+    if (plan_.has_ro_replica(e.entity, node)) {
+      ro_cache(node, e.entity).apply_push(e.pk, e.row, e.version, sim_.now());
+    }
+  }
+  if (plan_.has_query_cache(node)) {
+    cache::QueryCache& qc = query_cache(node);
+    for (const auto& q : batch.queries) {
+      if (q.invalidate_only) {
+        qc.invalidate(q.cache_key);
+      } else {
+        // Install even when the key is absent: a concurrent cache-miss may
+        // have executed the query against pre-write data and its (stale)
+        // fill could land after this push — the version-monotonic fill
+        // then rejects it, preserving zero staleness under blocking push.
+        qc.apply_push(q.cache_key, q.rows, q.version);
+      }
+    }
+  }
+}
+
+}  // namespace mutsvc::comp

@@ -1,0 +1,343 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/consistency.hpp"
+#include "cache/query_cache.hpp"
+#include "cache/read_only_cache.hpp"
+#include "cache/update.hpp"
+#include "component/deployment.hpp"
+#include "component/locks.hpp"
+#include "component/model.hpp"
+#include "component/naming.hpp"
+#include "component/trace.hpp"
+#include "db/database.hpp"
+#include "db/jdbc.hpp"
+#include "messaging/topic.hpp"
+#include "net/http.hpp"
+#include "net/network.hpp"
+#include "net/rmi.hpp"
+#include "sim/task.hpp"
+
+namespace mutsvc::comp {
+
+/// Container-level service demands (calibrated; see core/calibration.hpp).
+struct RuntimeConfig {
+  sim::Duration local_dispatch = sim::us(60);  // in-container EJB call
+  sim::Duration entity_access = sim::us(150);  // entity bean instance access
+  sim::Duration cache_access = sim::us(80);    // RO-cache / query-cache read
+  sim::Duration apply_update = sim::us(200);   // applying one pushed batch
+  sim::Duration mdb_dispatch = sim::us(300);   // onMessage dispatch (§4.5)
+  sim::Duration jms_accept = sim::ms(2);       // provider accept (publish side)
+  db::JdbcConfig jdbc;
+  bool delta_encoding = false;  // push only modified fields (§4.3)
+  /// §4.3 vendor-style timeout invalidation for read-only beans; zero (the
+  /// default, the paper's configuration) disables expiry — freshness is
+  /// the push protocol's job.
+  sim::Duration ro_ttl = sim::Duration::zero();
+};
+
+struct CallResult {
+  std::vector<db::Row> rows;
+};
+
+class Runtime;
+
+/// The view a running method body has of its container (the "EJB context").
+class CallContext {
+ public:
+  CallContext(Runtime& rt, net::NodeId node, const ComponentDef& comp, const MethodDef& method,
+              std::vector<db::Value> args)
+      : rt_(rt), node_(node), comp_(&comp), method_(&method), args_(std::move(args)) {}
+
+  [[nodiscard]] Runtime& runtime() { return rt_; }
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] const ComponentDef& component() const { return *comp_; }
+  [[nodiscard]] const MethodDef& method() const { return *method_; }
+
+  [[nodiscard]] const DeploymentPlan& plan() const;
+  [[nodiscard]] bool has(Feature f) const;
+
+  /// The request's trace sink (null when tracing is off). Nested calls
+  /// inherit it automatically.
+  [[nodiscard]] TraceSink* trace() const { return trace_; }
+
+  [[nodiscard]] std::size_t arg_count() const { return args_.size(); }
+  [[nodiscard]] const db::Value& arg(std::size_t i) const {
+    if (i >= args_.size()) throw std::out_of_range("CallContext::arg");
+    return args_[i];
+  }
+  [[nodiscard]] std::int64_t arg_int(std::size_t i) const { return db::as_int(arg(i)); }
+  [[nodiscard]] const std::string& arg_text(std::size_t i) const { return db::as_text(arg(i)); }
+
+  /// Consume CPU on this node.
+  [[nodiscard]] sim::Task<void> cpu(sim::Duration d);
+
+  /// Invoke another component's method (local dispatch or RMI, per plan).
+  [[nodiscard]] sim::Task<CallResult> call(const std::string& component,
+                                           const std::string& method,
+                                           std::vector<db::Value> args = {});
+
+  /// Variadic convenience (also works around a GCC 12 bug with braced
+  /// init-lists inside co_await expressions). Pass std::int64_t / double /
+  /// string-ish values explicitly.
+  template <class A0, class... A>
+  [[nodiscard]] sim::Task<CallResult> call(const std::string& component,
+                                           const std::string& method, A0&& a0, A&&... rest) {
+    std::vector<db::Value> v;
+    v.reserve(1 + sizeof...(A));
+    v.emplace_back(db::Value(std::forward<A0>(a0)));
+    (v.emplace_back(db::Value(std::forward<A>(rest))), ...);
+    return call(component, method, std::move(v));
+  }
+
+  /// Raw JDBC from this node — the web tier's direct database access the
+  /// paper starts from (and the façade rule eliminates).
+  [[nodiscard]] sim::Task<db::QueryResult> direct_query(db::Query q);
+
+  /// Entity read through the read-mostly machinery (§4.3): served by a local
+  /// read-only replica when deployed, else by the entity's primary.
+  [[nodiscard]] sim::Task<std::optional<db::Row>> read_entity(const std::string& entity,
+                                                              std::int64_t pk);
+
+  /// Aggregate/finder query through the query-cache machinery (§4.4).
+  [[nodiscard]] sim::Task<db::QueryResult> cached_query(db::Query q);
+
+  /// Transactional entity update at the primary, then propagation per the
+  /// plan's update mode. `affected_queries` are the aggregate queries whose
+  /// cached results this write invalidates (declared by the application —
+  /// §4.4 leaves invalidating-operation identification to developers).
+  [[nodiscard]] sim::Task<void> write_entity(const std::string& entity, std::int64_t pk,
+                                             std::string column, db::Value v,
+                                             std::vector<db::Query> affected_queries = {});
+
+  /// Transactional insert (new bid, new comment, new order line).
+  [[nodiscard]] sim::Task<void> insert_row(const std::string& entity, db::Row row,
+                                           std::vector<db::Query> affected_queries = {});
+
+  /// Allocates the next primary key for `table` (container id generator).
+  [[nodiscard]] std::int64_t allocate_id(const std::string& table);
+
+  /// Rows returned to the caller (marshalled into the RMI reply).
+  std::vector<db::Row> result;
+
+ private:
+  friend class Runtime;
+
+  struct PendingWrite {
+    std::string entity;
+    std::int64_t pk = 0;
+  };
+
+  [[nodiscard]] bool holds_lock(const std::pair<std::string, std::int64_t>& key) const {
+    for (const auto& k : tx_locks_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  Runtime& rt_;
+  net::NodeId node_;
+  const ComponentDef* comp_;
+  const MethodDef* method_;
+  std::vector<db::Value> args_;
+  TraceSink* trace_ = nullptr;
+
+  // Transaction state: writes made by this method body. All of them commit
+  // together when the body finishes — one update batch per transaction,
+  // matching §4.3/§4.4's "one bulk RMI call".
+  std::vector<PendingWrite> tx_writes_;
+  std::vector<db::Query> tx_affected_;
+  std::vector<std::pair<std::string, std::int64_t>> tx_locks_;
+};
+
+/// The distributed container runtime: resolves invocations against the
+/// deployment plan, executes method bodies on node CPUs, and implements the
+/// read-mostly / query-cache / update-propagation design rules.
+class Runtime {
+ public:
+  Runtime(sim::Simulator& sim, net::Topology& topo, net::Network& net, net::RmiTransport& rmi,
+          db::Database& db, const Application& app, DeploymentPlan plan, RuntimeConfig cfg = {});
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Invokes `component.method` on behalf of code running at `caller_node`.
+  /// Pass a TraceSink to collect a per-category time breakdown of the
+  /// whole call tree (null = tracing off).
+  [[nodiscard]] sim::Task<CallResult> invoke(net::NodeId caller_node,
+                                             const std::string& component,
+                                             const std::string& method,
+                                             std::vector<db::Value> args = {},
+                                             TraceSink* trace = nullptr);
+
+  /// Variadic convenience (see CallContext::call).
+  template <class A0, class... A>
+  [[nodiscard]] sim::Task<CallResult> invoke(net::NodeId caller_node,
+                                             const std::string& component,
+                                             const std::string& method, A0&& a0, A&&... rest) {
+    std::vector<db::Value> v;
+    v.reserve(1 + sizeof...(A));
+    v.emplace_back(db::Value(std::forward<A0>(a0)));
+    (v.emplace_back(db::Value(std::forward<A>(rest))), ...);
+    return invoke(caller_node, component, method, std::move(v));
+  }
+
+  // --- accessors -----------------------------------------------------------
+  [[nodiscard]] const Application& app() const { return app_; }
+  [[nodiscard]] const DeploymentPlan& plan() const { return plan_; }
+  [[nodiscard]] DeploymentPlan& plan() { return plan_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Topology& topology() { return topo_; }
+  [[nodiscard]] net::RmiTransport& rmi() { return rmi_; }
+  [[nodiscard]] db::Database& database() { return db_; }
+  [[nodiscard]] cache::ConsistencyTracker& consistency() { return consistency_; }
+  [[nodiscard]] LockManager& locks() { return locks_; }
+  [[nodiscard]] StubCache& stubs() { return stubs_; }
+
+  [[nodiscard]] cache::ReadOnlyCache& ro_cache(net::NodeId node, const std::string& entity);
+  [[nodiscard]] cache::QueryCache& query_cache(net::NodeId node);
+  [[nodiscard]] db::JdbcClient& jdbc_for(net::NodeId node);
+
+  /// The read-write master's binding to its table, via the Application.
+  void bind_entity(const std::string& entity, std::string table) {
+    entity_tables_[entity] = std::move(table);
+  }
+  [[nodiscard]] const std::string& entity_table(const std::string& entity) const;
+
+  /// One edge of the measured component interaction graph: who invoked
+  /// whom, how often, carrying how many bytes. Feeds the placement
+  /// optimizer (core/placement). Pseudo-components: "__client__" for HTTP
+  /// entry traffic, "query:<name>" for aggregate/finder query classes.
+  struct InteractionStat {
+    std::uint64_t calls = 0;
+    std::uint64_t writes = 0;
+    net::Bytes bytes = 0;
+  };
+  using InteractionProfile = std::map<std::pair<std::string, std::string>, InteractionStat>;
+
+  [[nodiscard]] const InteractionProfile& interaction_profile() const { return profile_; }
+  void reset_interaction_profile() { profile_.clear(); }
+
+  [[nodiscard]] std::uint64_t blocking_pushes() const { return blocking_pushes_; }
+  [[nodiscard]] std::uint64_t failed_pushes() const { return failed_pushes_; }
+  [[nodiscard]] std::uint64_t async_publishes() const { return async_publishes_; }
+  [[nodiscard]] std::uint64_t bounded_waits() const { return bounded_waits_; }
+  [[nodiscard]] msg::Topic<cache::UpdateBatch>* update_topic() { return topic_.get(); }
+
+  /// True when all asynchronously published updates have been applied.
+  [[nodiscard]] bool updates_quiescent() const {
+    return topic_ == nullptr || topic_->quiescent();
+  }
+
+ private:
+  friend class CallContext;
+
+  // NOTE: coroutine — all parameters by value. A const-ref parameter would
+  // dangle when the lazy task outlives the caller's temporaries (e.g. a
+  // default argument constructed in a non-coroutine forwarding wrapper).
+  [[nodiscard]] sim::Task<CallResult> call_from(net::NodeId caller, std::string component,
+                                                std::string method, std::vector<db::Value> args,
+                                                std::string caller_component = "__client__",
+                                                TraceSink* trace = nullptr);
+
+  void record_interaction(const std::string& caller, const std::string& callee, net::Bytes bytes,
+                          bool is_write = false) {
+    auto& stat = profile_[{caller, callee}];
+    ++stat.calls;
+    if (is_write) ++stat.writes;
+    stat.bytes += bytes;
+  }
+
+  [[nodiscard]] sim::Task<void> dispatch(net::NodeId node, const ComponentDef& comp,
+                                         const MethodDef& method, std::vector<db::Value> args,
+                                         std::vector<db::Row>* out, TraceSink* trace);
+
+  [[nodiscard]] sim::Task<std::optional<db::Row>> read_entity_impl(net::NodeId node,
+                                                                   std::string entity,
+                                                                   std::int64_t pk,
+                                                                   TraceSink* trace);
+
+  [[nodiscard]] sim::Task<db::QueryResult> cached_query_impl(net::NodeId node, db::Query q,
+                                                             TraceSink* trace);
+
+  /// Executes a query at the main server (locally or via one façade RMI).
+  [[nodiscard]] sim::Task<db::QueryResult> query_at_main(net::NodeId from, db::Query q,
+                                                         TraceSink* trace);
+
+  /// Applies one write. When `ctx` is non-null the write joins the calling
+  /// method's transaction (deferred propagation); a null ctx commits it as
+  /// a standalone transaction.
+  [[nodiscard]] sim::Task<void> write_impl(CallContext* ctx, net::NodeId node,
+                                           std::string entity, db::Query write,
+                                           std::vector<db::Query> affected_queries);
+
+  /// Commits the transaction accumulated in `ctx`: builds one update batch,
+  /// propagates it per the plan's update mode, bumps master versions at the
+  /// right instant (after blocking pushes, before async publish), releases
+  /// locks.
+  [[nodiscard]] sim::Task<void> commit_transaction(CallContext& ctx);
+
+  [[nodiscard]] sim::Task<void> propagate(const std::vector<CallContext::PendingWrite>& writes,
+                                          const std::vector<db::Query>& affected,
+                                          TraceSink* trace);
+
+  /// Builds the update batch for a set of committed writes, stamping each
+  /// entry with its pre-allocated version.
+  [[nodiscard]] cache::UpdateBatch build_batch(
+      const std::vector<CallContext::PendingWrite>& writes,
+      const std::vector<db::Query>& affected,
+      const std::map<std::string, std::uint64_t>& versions);
+
+  [[nodiscard]] sim::Task<void> push_blocking(cache::UpdateBatch batch, TraceSink* trace);
+  [[nodiscard]] sim::Task<void> publish_async(cache::UpdateBatch batch, TraceSink* trace);
+  [[nodiscard]] sim::Task<void> apply_batch(net::NodeId node, const cache::UpdateBatch& batch);
+
+  /// Edge nodes that must receive updates (RO replicas or query caches).
+  [[nodiscard]] std::vector<net::NodeId> update_targets() const;
+
+  [[nodiscard]] static std::string version_key(const std::string& entity, std::int64_t pk) {
+    return entity + ":" + std::to_string(pk);
+  }
+
+  static net::Bytes values_bytes(const std::vector<db::Value>& vals);
+  static net::Bytes rows_bytes(const std::vector<db::Row>& rows);
+
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  net::Network& net_;
+  net::RmiTransport& rmi_;
+  db::Database& db_;
+  const Application& app_;
+  DeploymentPlan plan_;
+  RuntimeConfig cfg_;
+
+  /// Dedicated transport for update propagation (§4.3): the updater façade
+  /// keeps hot container-to-container connections, so pushes pay exactly
+  /// one round trip (no ping/DGC extras).
+  std::unique_ptr<net::RmiTransport> update_rmi_;
+
+  LockManager locks_;
+  StubCache stubs_;
+  cache::ConsistencyTracker consistency_;
+  std::map<std::string, std::string> entity_tables_;
+  std::map<std::pair<net::NodeId, std::string>, std::unique_ptr<cache::ReadOnlyCache>> ro_caches_;
+  std::map<net::NodeId, std::unique_ptr<cache::QueryCache>> query_caches_;
+  std::map<net::NodeId, std::unique_ptr<db::JdbcClient>> jdbc_clients_;
+  std::unique_ptr<msg::Topic<cache::UpdateBatch>> topic_;
+  InteractionProfile profile_;
+
+  std::uint64_t blocking_pushes_ = 0;
+  std::uint64_t failed_pushes_ = 0;
+  std::uint64_t async_publishes_ = 0;
+  std::uint64_t bounded_waits_ = 0;
+};
+
+}  // namespace mutsvc::comp

@@ -1,0 +1,95 @@
+#include "core/design_rules.hpp"
+
+#include "component/model.hpp"
+
+namespace mutsvc::core {
+
+using comp::DeploymentPlan;
+using comp::Feature;
+
+void RemoteFacadeRule::apply(DeploymentPlan& plan, const apps::AppMetadata& meta,
+                             const TestbedNodes& nodes) const {
+  for (net::NodeId edge : nodes.edge_servers) {
+    for (const auto& c : meta.web_components) plan.place(c, edge);
+    for (const auto& c : meta.stateful_session) plan.place(c, edge);
+  }
+  plan.enable(Feature::kRemoteFacade);
+  plan.enable(Feature::kStubCaching);
+  // Remote client groups now enter through their co-located edge server.
+  for (std::size_t i = 0; i < nodes.remote_clients.size(); ++i) {
+    plan.set_entry_point(nodes.remote_clients[i],
+                         nodes.edge_servers[i % nodes.edge_servers.size()]);
+  }
+}
+
+void StatefulComponentCachingRule::apply(DeploymentPlan& plan, const apps::AppMetadata& meta,
+                                         const TestbedNodes& nodes) const {
+  for (net::NodeId edge : nodes.edge_servers) {
+    for (const auto& c : meta.edge_facades) plan.place(c, edge);
+    for (const auto& e : meta.read_mostly) plan.replicate_read_only(e, edge);
+  }
+  plan.enable(Feature::kStatefulComponentCaching);
+}
+
+void QueryCachingRule::apply(DeploymentPlan& plan, const apps::AppMetadata& meta,
+                             const TestbedNodes& nodes) const {
+  for (net::NodeId edge : nodes.edge_servers) {
+    for (const auto& c : meta.query_facades) plan.place(c, edge);
+    plan.add_query_cache(edge);
+  }
+  plan.set_query_refresh(meta.query_refresh);
+  plan.enable(Feature::kQueryCaching);
+}
+
+void AsynchronousUpdatesRule::apply(DeploymentPlan& plan, const apps::AppMetadata&,
+                                    const TestbedNodes&) const {
+  plan.enable(Feature::kAsyncUpdates);
+}
+
+const char* to_string(ConfigLevel level) {
+  switch (level) {
+    case ConfigLevel::kCentralized: return "Centralized";
+    case ConfigLevel::kRemoteFacade: return "Remote facade";
+    case ConfigLevel::kStatefulComponentCaching: return "Stateful component caching";
+    case ConfigLevel::kQueryCaching: return "Query caching";
+    case ConfigLevel::kAsyncUpdates: return "Asynchronous updates";
+  }
+  return "?";
+}
+
+std::vector<std::unique_ptr<DesignRule>> rules_for(ConfigLevel level) {
+  std::vector<std::unique_ptr<DesignRule>> rules;
+  const int l = static_cast<int>(level);
+  if (l >= static_cast<int>(ConfigLevel::kRemoteFacade)) {
+    rules.push_back(std::make_unique<RemoteFacadeRule>());
+  }
+  if (l >= static_cast<int>(ConfigLevel::kStatefulComponentCaching)) {
+    rules.push_back(std::make_unique<StatefulComponentCachingRule>());
+  }
+  if (l >= static_cast<int>(ConfigLevel::kQueryCaching)) {
+    rules.push_back(std::make_unique<QueryCachingRule>());
+  }
+  if (l >= static_cast<int>(ConfigLevel::kAsyncUpdates)) {
+    rules.push_back(std::make_unique<AsynchronousUpdatesRule>());
+  }
+  return rules;
+}
+
+comp::DeploymentPlan build_plan(const comp::Application& app, const apps::AppMetadata& meta,
+                                const TestbedNodes& nodes, ConfigLevel level) {
+  DeploymentPlan plan;
+  plan.set_main_server(nodes.main_server);
+  for (net::NodeId edge : nodes.edge_servers) plan.add_edge_server(edge);
+
+  // Centralized baseline (§4.1): every component on the main server; all
+  // client groups enter there.
+  for (const auto& name : app.component_names()) plan.place(name, nodes.main_server);
+  plan.set_entry_point(nodes.local_clients, nodes.main_server);
+  for (net::NodeId rc : nodes.remote_clients) plan.set_entry_point(rc, nodes.main_server);
+  plan.set_query_refresh(meta.query_refresh);
+
+  for (const auto& rule : rules_for(level)) rule->apply(plan, meta, nodes);
+  return plan;
+}
+
+}  // namespace mutsvc::core

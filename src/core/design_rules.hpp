@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/common/metadata.hpp"
+#include "component/deployment.hpp"
+#include "component/model.hpp"
+#include "core/testbed.hpp"
+
+namespace mutsvc::core {
+
+/// One of the paper's design rules (§4.2–§4.5), expressed as a deployment
+/// transformation — the §5 thesis: these rules are declarative deployment
+/// policy, implementable by containers, not application code.
+class DesignRule {
+ public:
+  virtual ~DesignRule() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void apply(comp::DeploymentPlan& plan, const apps::AppMetadata& meta,
+                     const TestbedNodes& nodes) const = 0;
+};
+
+/// §4.2: deploy web components and stateful session beans at the edges,
+/// route each client group to its nearest server, collapse entity access
+/// into bulk façade calls, and cache JNDI home/remote stubs
+/// (EJBHomeFactory).
+class RemoteFacadeRule final : public DesignRule {
+ public:
+  const char* name() const override { return "remote-facade"; }
+  void apply(comp::DeploymentPlan& plan, const apps::AppMetadata& meta,
+             const TestbedNodes& nodes) const override;
+};
+
+/// §4.3: split read-mostly entity beans into a read-write master and
+/// read-only edge replicas kept fresh by a blocking push protocol; deploy
+/// the delegating façades (edge Catalog / SB_View*) alongside them.
+class StatefulComponentCachingRule final : public DesignRule {
+ public:
+  const char* name() const override { return "stateful-component-caching"; }
+  void apply(comp::DeploymentPlan& plan, const apps::AppMetadata& meta,
+             const TestbedNodes& nodes) const override;
+};
+
+/// §4.4: cache aggregate/finder query results at edge servers, refreshed by
+/// pull (re-execute on next read) or push (rows ride the update call).
+class QueryCachingRule final : public DesignRule {
+ public:
+  const char* name() const override { return "query-caching"; }
+  void apply(comp::DeploymentPlan& plan, const apps::AppMetadata& meta,
+             const TestbedNodes& nodes) const override;
+};
+
+/// §4.5: replace the blocking push with asynchronous propagation through a
+/// JMS topic and message-driven façades — writers stop paying WAN latency.
+class AsynchronousUpdatesRule final : public DesignRule {
+ public:
+  const char* name() const override { return "asynchronous-updates"; }
+  void apply(comp::DeploymentPlan& plan, const apps::AppMetadata& meta,
+             const TestbedNodes& nodes) const override;
+};
+
+/// The five incremental configurations of §4.
+enum class ConfigLevel {
+  kCentralized = 1,               // §4.1
+  kRemoteFacade = 2,              // §4.2
+  kStatefulComponentCaching = 3,  // §4.3
+  kQueryCaching = 4,              // §4.4
+  kAsyncUpdates = 5,              // §4.5
+};
+
+[[nodiscard]] const char* to_string(ConfigLevel level);
+
+/// The rules that are active at `level`, in application order.
+[[nodiscard]] std::vector<std::unique_ptr<DesignRule>> rules_for(ConfigLevel level);
+
+/// Builds the complete deployment plan for one rung of the ladder:
+/// the centralized baseline plus every rule up to and including `level`.
+[[nodiscard]] comp::DeploymentPlan build_plan(const comp::Application& app,
+                                              const apps::AppMetadata& meta,
+                                              const TestbedNodes& nodes, ConfigLevel level);
+
+}  // namespace mutsvc::core

@@ -1,0 +1,143 @@
+#include "core/experiment.hpp"
+
+namespace mutsvc::core {
+
+namespace {
+TestbedConfig testbed_for(const apps::AppDriver& driver, HarnessCalibration cal) {
+  TestbedConfig t = cal.testbed;
+  t.db_colocated = driver.db_colocated;
+  return t;
+}
+}  // namespace
+
+Experiment::Experiment(const apps::AppDriver& driver, ExperimentSpec spec,
+                       HarnessCalibration cal)
+    : driver_(driver),
+      spec_(spec),
+      cal_(cal),
+      sim_(spec.seed),
+      topo_(sim_),
+      nodes_(build_testbed(topo_, testbed_for(driver, cal))),
+      net_(sim_, topo_),
+      http_(net_, cal.http),
+      rmi_(net_, cal.rmi),
+      collector_(spec.warmup) {
+  db_ = std::make_unique<db::Database>(topo_, nodes_.db_node, cal_.db_cost);
+  driver_.install_database(*db_);
+  comp::DeploymentPlan plan = spec_.custom_plan
+                                  ? spec_.custom_plan(nodes_)
+                                  : build_plan(*driver_.app, *driver_.meta, nodes_, spec_.level);
+  runtime_ = std::make_unique<comp::Runtime>(sim_, topo_, net_, rmi_, *db_, *driver_.app,
+                                             std::move(plan), cal_.runtime);
+  driver_.bind_entities(*runtime_);
+}
+
+sim::FifoResource& Experiment::thread_pool(net::NodeId server) {
+  auto it = thread_pools_.find(server);
+  if (it == thread_pools_.end()) {
+    it = thread_pools_
+             .emplace(server, std::make_unique<sim::FifoResource>(
+                                  sim_, cal_.container_threads,
+                                  topo_.node(server).name + ".threads"))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Task<void> Experiment::execute(net::NodeId client_node,
+                                    const workload::PageRequest& request) {
+  const net::NodeId server = runtime_->plan().entry_point(client_node);
+  bool unreachable = false;
+  try {
+    co_await execute_at(client_node, server, request);
+  } catch (const net::NoRouteError&) {
+    unreachable = true;  // co_await is illegal in a catch block
+  }
+  if (!unreachable) co_return;
+  // Connection attempt to a dead/partitioned server: the client notices
+  // after a connect timeout.
+  co_await sim_.wait(spec_.failover_timeout);
+  if (!spec_.failover_enabled || server == nodes_.main_server) {
+    ++dropped_;
+    co_return;
+  }
+  // §1: "client requests can utilize several entry points into the
+  // service" — fall back to the main server.
+  ++failovers_;
+  try {
+    co_await execute_at(client_node, nodes_.main_server, request);
+  } catch (const net::NoRouteError&) {
+    ++dropped_;
+  }
+}
+
+sim::Task<void> Experiment::execute_at(net::NodeId client_node, net::NodeId server,
+                                       const workload::PageRequest& request,
+                                       comp::TraceSink* trace) {
+  const sim::SimTime t0 = sim_.now();
+  sim::Duration server_time = sim::Duration::zero();
+  co_await http_.request(client_node, server, request.request_bytes,
+                         [this, server, &request, trace,
+                          &server_time]() -> sim::Task<net::Bytes> {
+                           const sim::SimTime s0 = sim_.now();
+                           sim::FifoResource& pool = thread_pool(server);
+                           co_await pool.acquire();
+                           if (trace) trace->add(comp::SpanKind::kQueueing, sim_.now() - s0);
+                           try {
+                             (void)co_await runtime_->invoke(server, request.component,
+                                                             request.method, request.args,
+                                                             trace);
+                           } catch (...) {
+                             pool.release();
+                             throw;
+                           }
+                           pool.release();
+                           server_time = sim_.now() - s0;
+                           co_return request.response_bytes;
+                         });
+  if (trace) trace->add(comp::SpanKind::kHttpWire, (sim_.now() - t0) - server_time);
+}
+
+sim::Task<void> Experiment::execute_traced(net::NodeId client_node,
+                                           const workload::PageRequest& request,
+                                           comp::TraceSink& sink) {
+  const net::NodeId server = runtime_->plan().entry_point(client_node);
+  co_await execute_at(client_node, server, request, &sink);
+}
+
+void Experiment::run() {
+  loadgen_ = std::make_unique<workload::LoadGenerator>(sim_, *this, collector_, spec_.loadgen);
+
+  sim::RngStream root = sim_.rng().fork("workload");
+  const double per_group =
+      spec_.total_request_rate / static_cast<double>(1 + nodes_.remote_clients.size());
+  const sim::SimTime end = sim::SimTime::origin() + spec_.duration;
+
+  auto start_group = [&](net::NodeId client, stats::ClientGroup group, const std::string& tag) {
+    workload::ClientGroupSpec s;
+    s.client_node = client;
+    s.group = group;
+    s.requests_per_second = per_group;
+    s.browser_fraction = spec_.browser_fraction;
+    s.browser_factory = driver_.browser_factory(root.fork(tag + "-browser"));
+    s.writer_factory = driver_.writer_factory(root.fork(tag + "-writer"));
+    loadgen_->start_group(s, end, root.fork(tag + "-clients"));
+  };
+
+  start_group(nodes_.local_clients, stats::ClientGroup::kLocal, "local");
+  for (std::size_t i = 0; i < nodes_.remote_clients.size(); ++i) {
+    start_group(nodes_.remote_clients[i], stats::ClientGroup::kRemote,
+                "remote-" + std::to_string(i));
+  }
+
+  // Utilization accounting starts after warm-up, like the measurements.
+  sim_.schedule_at(sim::SimTime::origin() + spec_.warmup, [this] {
+    for (std::uint32_t i = 0; i < topo_.node_count(); ++i) {
+      topo_.node(net::NodeId{i}).cpu->reset_utilization();
+    }
+  });
+
+  sim_.run_until(end);
+}
+
+}  // namespace mutsvc::core

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "apps/common/driver.hpp"
+#include "component/runtime.hpp"
+#include "core/calibration.hpp"
+#include "core/design_rules.hpp"
+#include "core/testbed.hpp"
+#include "db/database.hpp"
+#include "net/http.hpp"
+#include "net/network.hpp"
+#include "net/rmi.hpp"
+#include "net/topology.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "stats/collector.hpp"
+#include "workload/loadgen.hpp"
+
+namespace mutsvc::core {
+
+/// Run parameters (§3.3): one hour of combined 30 req/s load from an 80/20
+/// browser/writer mix, split equally across three client groups, after a
+/// warm-up. Defaults are a scaled-down run; the table benches use the full
+/// paper-scale parameters.
+struct ExperimentSpec {
+  ConfigLevel level = ConfigLevel::kCentralized;
+  sim::Duration duration = sim::sec(600);
+  sim::Duration warmup = sim::sec(60);
+  double total_request_rate = 30.0;
+  double browser_fraction = 0.8;
+  std::uint64_t seed = 42;
+  workload::LoadGenConfig loadgen;
+  /// When set, deploys this plan instead of the `level` ladder rung (used
+  /// by the placement advisor to run machine-derived plans). Receives the
+  /// freshly built testbed's node handles.
+  std::function<comp::DeploymentPlan(const TestbedNodes&)> custom_plan;
+
+  /// Entry-point failover (the availability motivation of §1): when a
+  /// client cannot reach its assigned server, it retries at the main
+  /// server after this connection timeout. Zero disables failover —
+  /// unreachable requests are then dropped after the timeout.
+  sim::Duration failover_timeout = sim::sec(2);
+  bool failover_enabled = true;
+};
+
+/// One full testbed run: Figure 2 topology + application + configuration
+/// rung + client load; collects per-page and per-pattern response times.
+class Experiment final : public workload::RequestExecutor {
+ public:
+  Experiment(const apps::AppDriver& driver, ExperimentSpec spec, HarnessCalibration cal);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs the full load for spec.duration of simulated time.
+  void run();
+
+  [[nodiscard]] const stats::ResponseTimeCollector& results() const { return collector_; }
+
+  /// Enables windowed time-series collection (call before run()).
+  void enable_timeseries(sim::Duration window) { collector_.enable_timeseries(window); }
+  [[nodiscard]] comp::Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] const TestbedNodes& nodes() const { return nodes_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] db::Database& database() { return *db_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Post-warm-up mean CPU utilization of a node (the paper kept app
+  /// servers under 40% and the DB under 5%).
+  [[nodiscard]] double cpu_utilization(net::NodeId node) {
+    return topo_.node(node).cpu->utilization();
+  }
+
+  // workload::RequestExecutor: one HTTP page request end to end, with
+  // entry-point failover on unreachable servers.
+  [[nodiscard]] sim::Task<void> execute(net::NodeId client_node,
+                                        const workload::PageRequest& request) override;
+
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  [[nodiscard]] std::uint64_t dropped_requests() const { return dropped_; }
+
+  /// Issues one page request with full trace collection: the sink receives
+  /// the per-category time breakdown (HTTP wire, queueing, CPU, JDBC, RMI,
+  /// lock waits, push/publish, ...). Used by the breakdown benchmarks.
+  [[nodiscard]] sim::Task<void> execute_traced(net::NodeId client_node,
+                                               const workload::PageRequest& request,
+                                               comp::TraceSink& sink);
+
+ private:
+  [[nodiscard]] sim::FifoResource& thread_pool(net::NodeId server);
+
+  [[nodiscard]] sim::Task<void> execute_at(net::NodeId client_node, net::NodeId server,
+                                           const workload::PageRequest& request,
+                                           comp::TraceSink* trace = nullptr);
+
+  apps::AppDriver driver_;
+  ExperimentSpec spec_;
+  HarnessCalibration cal_;
+
+  sim::Simulator sim_;
+  net::Topology topo_;
+  TestbedNodes nodes_;
+  net::Network net_;
+  net::HttpTransport http_;
+  net::RmiTransport rmi_;
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<comp::Runtime> runtime_;
+  stats::ResponseTimeCollector collector_;
+  std::unique_ptr<workload::LoadGenerator> loadgen_;
+  std::map<net::NodeId, std::unique_ptr<sim::FifoResource>> thread_pools_;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mutsvc::core

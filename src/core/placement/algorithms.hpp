@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/placement/model.hpp"
+#include "sim/random.hpp"
+
+namespace mutsvc::core::placement {
+
+struct SolveResult {
+  Assignment assignment;
+  double cost = 0.0;
+  std::uint64_t evaluations = 0;
+  std::string algorithm;
+};
+
+/// Enumerates every subset of replicable vertices. Exact; throws when the
+/// free-vertex count exceeds `max_free` (2^n blow-up).
+[[nodiscard]] SolveResult solve_exhaustive(const PlacementProblem& problem,
+                                           std::size_t max_free = 24);
+
+/// Exact branch-and-bound: depth-first over replicate/don't decisions in
+/// descending incident-weight order, pruned by an admissible per-edge
+/// lower bound and a greedy incumbent. Same optimum as exhaustive with far
+/// fewer evaluations; practical well beyond exhaustive's ~24-vertex limit.
+[[nodiscard]] SolveResult solve_branch_and_bound(const PlacementProblem& problem);
+
+/// Marginal-gain greedy: starting centralized, repeatedly replicate the
+/// vertex with the largest cost reduction until none improves.
+[[nodiscard]] SolveResult solve_greedy(const PlacementProblem& problem);
+
+/// Single-flip hill climbing (Kernighan–Lin flavoured: both directions,
+/// steepest descent) with random restarts.
+[[nodiscard]] SolveResult solve_local_search(const PlacementProblem& problem,
+                                             sim::RngStream rng, int restarts = 8);
+
+struct AnnealingParams {
+  /// <= 0 auto-scales to a fraction of the centralized cost, so acceptance
+  /// probabilities are meaningful regardless of the workload's magnitude.
+  double initial_temperature = 0.0;
+  double cooling = 0.9995;
+  int iterations = 30000;
+};
+
+/// Simulated annealing over single flips; seeded and deterministic.
+[[nodiscard]] SolveResult solve_annealing(const PlacementProblem& problem, sim::RngStream rng,
+                                          AnnealingParams params = {});
+
+}  // namespace mutsvc::core::placement

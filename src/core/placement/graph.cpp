@@ -1,0 +1,151 @@
+#include "core/placement/graph.hpp"
+
+#include <sstream>
+
+#include "component/kind.hpp"
+
+namespace mutsvc::core::placement {
+
+const char* to_string(VertexKind k) {
+  switch (k) {
+    case VertexKind::kClientLocal: return "client-local";
+    case VertexKind::kClientRemote: return "client-remote";
+    case VertexKind::kDatabase: return "database";
+    case VertexKind::kWebComponent: return "web";
+    case VertexKind::kSessionState: return "session-state";
+    case VertexKind::kStatelessService: return "stateless";
+    case VertexKind::kSharedEntity: return "shared-entity";
+    case VertexKind::kQueryResults: return "query-results";
+  }
+  return "?";
+}
+
+std::size_t InteractionGraph::add_vertex(Vertex v) {
+  if (index_.contains(v.name)) {
+    throw std::invalid_argument("InteractionGraph: duplicate vertex " + v.name);
+  }
+  index_.emplace(v.name, vertices_.size());
+  vertices_.push_back(std::move(v));
+  return vertices_.size() - 1;
+}
+
+std::size_t InteractionGraph::index_of(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) throw std::invalid_argument("InteractionGraph: no vertex " + name);
+  return it->second;
+}
+
+void InteractionGraph::add_edge(const std::string& from, const std::string& to, double rate,
+                                double round_trips, double bytes, double write_rate) {
+  const std::size_t f = index_of(from);
+  const std::size_t t = index_of(to);
+  for (Edge& e : edges_) {
+    if (e.from == f && e.to == t) {
+      // Accumulate rates; keep the weighted mean of round trips and bytes.
+      const double total = e.rate + rate;
+      if (total > 0.0) {
+        e.round_trips = (e.round_trips * e.rate + round_trips * rate) / total;
+        e.bytes = (e.bytes * e.rate + bytes * rate) / total;
+      }
+      e.rate = total;
+      e.write_rate += write_rate;
+      return;
+    }
+  }
+  edges_.push_back(Edge{f, t, rate, write_rate, round_trips, bytes});
+}
+
+std::size_t InteractionGraph::free_vertex_count() const {
+  std::size_t n = 0;
+  for (const auto& v : vertices_) {
+    if (is_replicable(v.kind)) ++n;
+  }
+  return n;
+}
+
+std::string InteractionGraph::describe() const {
+  std::ostringstream os;
+  os << "vertices (" << vertices_.size() << "):\n";
+  for (const auto& v : vertices_) {
+    os << "  " << v.name << " [" << to_string(v.kind) << "]";
+    if (v.write_rate > 0.0) os << " writes/s=" << v.write_rate;
+    os << "\n";
+  }
+  os << "edges (" << edges_.size() << "):\n";
+  for (const auto& e : edges_) {
+    os << "  " << vertices_[e.from].name << " -> " << vertices_[e.to].name
+       << " rate/s=" << e.rate << " rtts=" << e.round_trips << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+VertexKind kind_for_component(const comp::Application& app, const std::string& name) {
+  if (!app.has_component(name)) {
+    // Names that are not components are entity-state or query classes.
+    if (name.starts_with("query:")) return VertexKind::kQueryResults;
+    return VertexKind::kSharedEntity;
+  }
+  switch (app.component(name).kind()) {
+    case comp::ComponentKind::kServlet:
+    case comp::ComponentKind::kJsp:
+    case comp::ComponentKind::kJavaBean: return VertexKind::kWebComponent;
+    case comp::ComponentKind::kStatefulSessionBean: return VertexKind::kSessionState;
+    case comp::ComponentKind::kStatelessSessionBean:
+    case comp::ComponentKind::kMessageDrivenBean: return VertexKind::kStatelessService;
+    case comp::ComponentKind::kEntityBeanRW:
+    case comp::ComponentKind::kEntityBeanRO: return VertexKind::kSharedEntity;
+  }
+  return VertexKind::kStatelessService;
+}
+
+}  // namespace
+
+InteractionGraph build_graph(const comp::Runtime::InteractionProfile& profile,
+                             const comp::Application& app, const GraphBuildOptions& opts) {
+  InteractionGraph g;
+  g.add_vertex(Vertex{"__client_local__", VertexKind::kClientLocal, 0.0});
+  g.add_vertex(Vertex{"__client_remote__", VertexKind::kClientRemote, 0.0});
+  g.add_vertex(Vertex{"__database__", VertexKind::kDatabase, 0.0});
+
+  const double window_s = opts.window.as_seconds();
+  auto ensure_vertex = [&](const std::string& name) {
+    if (name == "__client__" || g.has_vertex(name)) return;
+    g.add_vertex(Vertex{name, kind_for_component(app, name), 0.0});
+  };
+
+  for (const auto& [pair, stat] : profile) {
+    ensure_vertex(pair.first);
+    ensure_vertex(pair.second);
+  }
+
+  for (const auto& [pair, stat] : profile) {
+    const auto& [from, to] = pair;
+    const double rate = static_cast<double>(stat.calls) / window_s;
+    const double bytes =
+        stat.calls == 0 ? 512.0 : static_cast<double>(stat.bytes) / static_cast<double>(stat.calls);
+
+    const double write_rate = static_cast<double>(stat.writes) / window_s;
+    if (from == "__client__") {
+      // Split entry traffic between the local and remote client groups.
+      g.add_edge("__client_remote__", to, rate * opts.remote_traffic_fraction,
+                 opts.http_round_trips, bytes, write_rate * opts.remote_traffic_fraction);
+      g.add_edge("__client_local__", to, rate * (1.0 - opts.remote_traffic_fraction),
+                 opts.http_round_trips, bytes, write_rate * (1.0 - opts.remote_traffic_fraction));
+    } else {
+      g.add_edge(from, to, rate, opts.rmi_round_trips, bytes, write_rate);
+    }
+
+    // Writes against shared state drive the replication cost.
+    if (stat.writes > 0 && g.has_vertex(to)) {
+      Vertex& v = g.vertex(g.index_of(to));
+      if (carries_shared_state(v.kind)) {
+        v.write_rate += static_cast<double>(stat.writes) / window_s;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace mutsvc::core::placement

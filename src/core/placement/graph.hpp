@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/common/metadata.hpp"
+#include "component/model.hpp"
+#include "component/runtime.hpp"
+#include "sim/time.hpp"
+
+namespace mutsvc::core::placement {
+
+/// Vertex taxonomy for the component interaction graph. Pinned kinds have a
+/// fixed location; replicable kinds are the optimizer's decision variables.
+enum class VertexKind {
+  kClientLocal,       // traffic entering at the main site (pinned)
+  kClientRemote,      // traffic entering at the edge sites (pinned)
+  kDatabase,          // the RDBMS (pinned at main)
+  kWebComponent,      // servlets/JSPs/web beans
+  kSessionState,      // stateful session beans (per-client state)
+  kStatelessService,  // stateless façades / MDBs
+  kSharedEntity,      // entity-bean state (read-only replicable, update cost)
+  kQueryResults,      // a cacheable query class (§4.4), update cost on writes
+};
+
+[[nodiscard]] constexpr bool is_pinned(VertexKind k) {
+  return k == VertexKind::kClientLocal || k == VertexKind::kClientRemote ||
+         k == VertexKind::kDatabase;
+}
+
+[[nodiscard]] constexpr bool is_replicable(VertexKind k) { return !is_pinned(k); }
+
+/// Replicating shared state pays a propagation cost per write; stateless
+/// and session-scoped components replicate for free.
+[[nodiscard]] constexpr bool carries_shared_state(VertexKind k) {
+  return k == VertexKind::kSharedEntity || k == VertexKind::kQueryResults;
+}
+
+[[nodiscard]] const char* to_string(VertexKind k);
+
+struct Vertex {
+  std::string name;
+  VertexKind kind = VertexKind::kStatelessService;
+  double write_rate = 0.0;  // updates/sec against this state
+};
+
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double rate = 0.0;         // calls/sec (reads + writes)
+  double write_rate = 0.0;   // writes/sec — these always route to the
+                             // primary copy, replication cannot localize them
+  double round_trips = 1.0;  // WAN RTTs per call when it crosses
+  double bytes = 512.0;      // payload per call
+};
+
+/// The weighted component interaction graph the optimizer partitions.
+class InteractionGraph {
+ public:
+  std::size_t add_vertex(Vertex v);
+
+  /// Adds (or accumulates onto) a directed edge between named vertices.
+  void add_edge(const std::string& from, const std::string& to, double rate,
+                double round_trips = 1.0, double bytes = 512.0, double write_rate = 0.0);
+
+  [[nodiscard]] bool has_vertex(const std::string& name) const { return index_.contains(name); }
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  [[nodiscard]] const Vertex& vertex(std::size_t i) const { return vertices_.at(i); }
+  [[nodiscard]] Vertex& vertex(std::size_t i) { return vertices_.at(i); }
+  [[nodiscard]] const std::vector<Vertex>& vertices() const { return vertices_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] std::size_t vertex_count() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t free_vertex_count() const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::map<std::string, std::size_t> index_;
+};
+
+/// Parameters for turning a measured runtime profile into a graph.
+struct GraphBuildOptions {
+  sim::Duration window = sim::sec(3600);  // profiling window the counts cover
+  double remote_traffic_fraction = 2.0 / 3.0;
+  /// HTTP without keep-alive costs two round trips per page (§4.1).
+  double http_round_trips = 2.0;
+  /// Mean WAN round trips per RMI call (1 + ping/DGC extras, §4.2).
+  double rmi_round_trips = 1.5;
+};
+
+/// Builds the interaction graph from a Runtime's measured interaction
+/// profile (typically collected in a centralized profiling run) plus the
+/// application's component kinds.
+[[nodiscard]] InteractionGraph build_graph(const comp::Runtime::InteractionProfile& profile,
+                                           const comp::Application& app,
+                                           const GraphBuildOptions& opts = {});
+
+}  // namespace mutsvc::core::placement

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/placement/graph.hpp"
+
+namespace mutsvc::core::placement {
+
+/// The optimization problem: which replicable vertices should be deployed
+/// at the edge servers (in addition to the main server, which always holds
+/// everything), to minimize expected wide-area delay.
+struct PlacementProblem {
+  InteractionGraph graph;
+  double wan_rtt_ms = 200.0;             // one wide-area round trip
+  int edge_count = 2;                    // Figure 2
+  /// Writers' propagation cost per update to a replicated state vertex:
+  /// blocking push pays edge_count sequential WAN round trips (§4.3);
+  /// asynchronous updates pay only the local publish cost (§4.5).
+  bool async_updates = true;
+  double async_publish_ms = 5.0;
+  /// Small per-replica maintenance weight (memory, subscription upkeep) so
+  /// useless replication is never free.
+  double replica_overhead_ms_per_s = 0.05;
+};
+
+/// Decision vector: replicated[i] == true deploys vertex i at every edge.
+/// Entries for pinned vertices are ignored (treated per their pin).
+using Assignment = std::vector<bool>;
+
+/// Evaluates the expected wide-area delay rate (ms of WAN-induced latency
+/// incurred per second of workload) of an assignment.
+///
+/// An edge (u -> v) crosses the WAN for the share of u's executions that
+/// happen at edge servers when v is only available at the main server.
+/// Replicated state additionally pays update-propagation cost per write.
+class CostModel {
+ public:
+  explicit CostModel(const PlacementProblem& problem) : p_(problem) {}
+
+  [[nodiscard]] const PlacementProblem& problem() const { return p_; }
+
+  /// Fraction of vertex executions happening at edge servers.
+  [[nodiscard]] double edge_execution_fraction(std::size_t vertex,
+                                               const Assignment& a) const {
+    const Vertex& v = p_.graph.vertex(vertex);
+    switch (v.kind) {
+      case VertexKind::kClientRemote: return 1.0;
+      case VertexKind::kClientLocal: return 0.0;
+      case VertexKind::kDatabase: return 0.0;
+      case VertexKind::kSharedEntity:
+      case VertexKind::kQueryResults:
+        // Read-only replicas serve reads from their own state; they never
+        // re-issue the master's outgoing calls (ejbLoad/SQL) at the edge —
+        // refresh traffic is captured by the update-propagation cost.
+        return 0.0;
+      default:
+        // A replicated component executes at the edge for requests entering
+        // there; a main-only component always executes at the main server.
+        return replicated(vertex, a) ? remote_share_ : 0.0;
+    }
+  }
+
+  [[nodiscard]] bool replicated(std::size_t vertex, const Assignment& a) const {
+    const Vertex& v = p_.graph.vertex(vertex);
+    if (v.kind == VertexKind::kClientRemote) return true;  // lives at edges
+    if (is_pinned(v.kind)) return false;
+    return vertex < a.size() && a[vertex];
+  }
+
+  [[nodiscard]] double cost(const Assignment& a) const {
+    double total = 0.0;
+    for (const Edge& e : p_.graph.edges()) {
+      const double f_edge = edge_execution_fraction(e.from, a);
+      if (f_edge <= 0.0) continue;
+      const bool callee_at_edges = replicated(e.to, a);
+      const Vertex& callee = p_.graph.vertex(e.to);
+      // Reads are served by an edge replica when one exists; writes to
+      // shared state always route to the primary (replicas are read-only).
+      double crossing_rate = callee_at_edges ? 0.0 : e.rate - e.write_rate;
+      if (carries_shared_state(callee.kind) || callee.kind == VertexKind::kDatabase) {
+        crossing_rate += e.write_rate;
+      } else if (!callee_at_edges) {
+        crossing_rate += e.write_rate;
+      }
+      total += crossing_rate * f_edge * e.round_trips * p_.wan_rtt_ms;
+    }
+    for (std::size_t i = 0; i < p_.graph.vertex_count(); ++i) {
+      const Vertex& v = p_.graph.vertex(i);
+      if (!replicated(i, a) || is_pinned(v.kind)) continue;
+      if (carries_shared_state(v.kind) && v.write_rate > 0.0) {
+        const double per_update = p_.async_updates
+                                      ? p_.async_publish_ms
+                                      : static_cast<double>(p_.edge_count) * p_.wan_rtt_ms;
+        total += v.write_rate * per_update;
+      }
+      total += p_.replica_overhead_ms_per_s * static_cast<double>(p_.edge_count);
+    }
+    return total;
+  }
+
+  /// The cost of keeping everything centralized.
+  [[nodiscard]] double centralized_cost() const {
+    return cost(Assignment(p_.graph.vertex_count(), false));
+  }
+
+  /// Remote traffic share used for edge execution fractions.
+  void set_remote_share(double f) { remote_share_ = f; }
+  [[nodiscard]] double remote_share() const { return remote_share_; }
+
+ private:
+  const PlacementProblem& p_;
+  double remote_share_ = 2.0 / 3.0;
+};
+
+/// Indices of replicable (free) vertices — the search space.
+[[nodiscard]] inline std::vector<std::size_t> free_vertices(const PlacementProblem& p) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < p.graph.vertex_count(); ++i) {
+    if (is_replicable(p.graph.vertex(i).kind)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace mutsvc::core::placement

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/common/driver.hpp"
+#include "core/design_rules.hpp"
+#include "stats/collector.hpp"
+#include "stats/table.hpp"
+
+namespace mutsvc::core {
+
+/// One configuration rung's measured results.
+struct ConfigResult {
+  ConfigLevel level;
+  const stats::ResponseTimeCollector* collector = nullptr;
+};
+
+/// Prints the paper's Table 6/7 layout: one Local and one Remote row per
+/// configuration, one column per page.
+inline void print_paper_table(std::ostream& os, const apps::AppDriver& driver,
+                              const std::vector<ConfigResult>& results) {
+  std::vector<std::string> header{"Configuration", "Cl."};
+  for (const auto& [pattern, page] : driver.table_pages) header.push_back(page);
+  stats::TextTable table{header};
+
+  for (const auto& result : results) {
+    for (stats::ClientGroup group : {stats::ClientGroup::kLocal, stats::ClientGroup::kRemote}) {
+      std::vector<std::string> row;
+      row.push_back(group == stats::ClientGroup::kLocal ? to_string(result.level) : "");
+      row.push_back(group == stats::ClientGroup::kLocal ? "L" : "R");
+      for (const auto& [pattern, page] : driver.table_pages) {
+        row.push_back(stats::TextTable::cell_ms(
+            result.collector->page_mean_ms(pattern, page, group)));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(os);
+}
+
+/// Prints the Figure 7/8 series: session-average response time per
+/// (client group × usage pattern) for every configuration.
+inline void print_session_averages(std::ostream& os, const apps::AppDriver& driver,
+                                   const std::vector<ConfigResult>& results) {
+  const std::string browser = driver.browser_pattern;
+  const std::string writer = driver.writer_pattern;
+  stats::TextTable table{{"Configuration", "Local " + browser, "Local " + writer,
+                          "Remote " + browser, "Remote " + writer}};
+  for (const auto& result : results) {
+    table.add_row({to_string(result.level),
+                   stats::TextTable::cell_ms(
+                       result.collector->pattern_mean_ms(browser, stats::ClientGroup::kLocal)),
+                   stats::TextTable::cell_ms(
+                       result.collector->pattern_mean_ms(writer, stats::ClientGroup::kLocal)),
+                   stats::TextTable::cell_ms(
+                       result.collector->pattern_mean_ms(browser, stats::ClientGroup::kRemote)),
+                   stats::TextTable::cell_ms(
+                       result.collector->pattern_mean_ms(writer, stats::ClientGroup::kRemote))});
+  }
+  table.print(os);
+}
+
+}  // namespace mutsvc::core

@@ -1,0 +1,50 @@
+#include "core/testbed.hpp"
+
+namespace mutsvc::core {
+
+TestbedNodes build_testbed(net::Topology& topo, const TestbedConfig& cfg) {
+  if (cfg.edge_count == 0) throw std::invalid_argument("build_testbed: edge_count must be > 0");
+
+  TestbedNodes n;
+  n.main_server = topo.add_node("main-as", net::NodeRole::kAppServer, cfg.server_cpus);
+  for (std::size_t i = 0; i < cfg.edge_count; ++i) {
+    n.edge_servers.push_back(topo.add_node("edge-as-" + std::to_string(i + 1),
+                                           net::NodeRole::kAppServer, cfg.server_cpus));
+  }
+  n.wan_hub = topo.add_node("wan-router", net::NodeRole::kRouter, 1);
+  n.local_clients = topo.add_node("clients-main", net::NodeRole::kClientMachine, 2);
+  for (std::size_t i = 0; i < cfg.edge_count; ++i) {
+    n.remote_clients.push_back(topo.add_node("clients-edge-" + std::to_string(i + 1),
+                                             net::NodeRole::kClientMachine, 2));
+  }
+
+  if (cfg.db_colocated) {
+    n.db_node = n.main_server;
+  } else {
+    n.db_node = topo.add_node("rdbms", net::NodeRole::kDatabaseServer, cfg.server_cpus);
+    topo.add_link(n.main_server, n.db_node, cfg.lan_latency, cfg.lan_bandwidth_bps);
+  }
+
+  // WAN star through the traffic-shaped software router: 50 ms per hop
+  // makes every server-to-server path 100 ms one way.
+  const sim::Duration half_wan = cfg.wan_one_way * 0.5;
+  topo.add_link(n.main_server, n.wan_hub, half_wan, cfg.wan_bandwidth_bps);
+  for (auto edge : n.edge_servers) {
+    topo.add_link(edge, n.wan_hub, half_wan, cfg.wan_bandwidth_bps);
+  }
+
+  // Client LANs. Remote client sites also see the wide-area router
+  // directly — they are on the Internet, not behind their edge server —
+  // which is what makes entry-point failover possible when an edge dies.
+  topo.add_link(n.local_clients, n.main_server, cfg.lan_latency, cfg.lan_bandwidth_bps);
+  for (std::size_t i = 0; i < cfg.edge_count; ++i) {
+    topo.add_link(n.remote_clients[i], n.edge_servers[i], cfg.lan_latency,
+                  cfg.lan_bandwidth_bps);
+    topo.add_link(n.remote_clients[i], n.wan_hub, half_wan, cfg.wan_bandwidth_bps);
+  }
+
+  topo.build_routes();
+  return n;
+}
+
+}  // namespace mutsvc::core

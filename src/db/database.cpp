@@ -1,0 +1,100 @@
+#include "db/database.hpp"
+
+#include <stdexcept>
+
+namespace mutsvc::db {
+
+Table& Database::create_table(std::string name, std::vector<Column> columns) {
+  auto [it, inserted] =
+      tables_.emplace(name, std::make_unique<Table>(name, std::move(columns)));
+  if (!inserted) throw std::invalid_argument("Database: table exists: " + name);
+  return *it->second;
+}
+
+Table& Database::table(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw std::invalid_argument("Database: no table " + name);
+  return *it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw std::invalid_argument("Database: no table " + name);
+  return *it->second;
+}
+
+void Database::register_aggregate(std::string name, AggregateFn fn) {
+  aggregates_[std::move(name)] = std::move(fn);
+}
+
+QueryResult Database::execute_immediate(const Query& q) {
+  ++executed_;
+  QueryResult res;
+  switch (q.kind) {
+    case QueryKind::kPkLookup: {
+      if (auto row = table(q.table).get(q.pk)) res.rows.push_back(std::move(*row));
+      break;
+    }
+    case QueryKind::kFinder: {
+      res.rows = table(q.table).find_equal(q.column, q.value);
+      break;
+    }
+    case QueryKind::kAggregate: {
+      auto it = aggregates_.find(q.aggregate_name);
+      if (it == aggregates_.end()) {
+        throw std::invalid_argument("Database: no aggregate " + q.aggregate_name);
+      }
+      res.rows = it->second(*this, q.params);
+      break;
+    }
+    case QueryKind::kKeywordSearch: {
+      Table& t = table(q.table);
+      std::size_t ci = t.column_index(q.column);
+      res.rows = t.scan([&](const Row& r) {
+        return std::holds_alternative<std::string>(r[ci]) &&
+               std::get<std::string>(r[ci]).find(q.keyword) != std::string::npos;
+      });
+      break;
+    }
+    case QueryKind::kUpdate: {
+      ++writes_;
+      table(q.table).update_column(q.pk, q.column, q.value);
+      res.affected = 1;
+      break;
+    }
+    case QueryKind::kInsert: {
+      ++writes_;
+      table(q.table).insert(q.row);
+      res.affected = 1;
+      break;
+    }
+    case QueryKind::kDelete: {
+      ++writes_;
+      res.affected = table(q.table).erase(q.pk) ? 1 : 0;
+      break;
+    }
+  }
+  return res;
+}
+
+sim::Duration Database::cost_of(const Query& q, std::size_t result_rows) const {
+  const auto n = static_cast<double>(result_rows);
+  switch (q.kind) {
+    case QueryKind::kPkLookup: return cost_.pk_lookup;
+    case QueryKind::kFinder: return cost_.finder_base + cost_.finder_per_row * n;
+    case QueryKind::kAggregate: return cost_.aggregate_base + cost_.aggregate_per_row * n;
+    case QueryKind::kKeywordSearch: return cost_.keyword_base + cost_.keyword_per_row * n;
+    case QueryKind::kUpdate: return cost_.update;
+    case QueryKind::kInsert: return cost_.insert;
+    case QueryKind::kDelete: return cost_.del;
+  }
+  return sim::Duration::zero();
+}
+
+sim::Task<QueryResult> Database::execute(Query q) {
+  QueryResult res = execute_immediate(q);
+  co_await topo_.node(home_).cpu->consume(cost_of(q, res.rows.size()));
+  co_return res;
+}
+
+}  // namespace mutsvc::db

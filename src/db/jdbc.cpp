@@ -1,0 +1,37 @@
+#include "db/jdbc.hpp"
+
+namespace mutsvc::db {
+
+sim::Task<QueryResult> JdbcClient::execute(Query q) {
+  ++statements_;
+  const net::NodeId server = db_.home_node();
+
+  bool have_connection = cfg_.pool_connections && pooled_available_ > 0;
+  if (have_connection) {
+    --pooled_available_;
+  } else {
+    ++connections_opened_;
+    co_await net_.deliver(client_, server, cfg_.connect_bytes);
+    co_await net_.deliver(server, client_, cfg_.connect_bytes);
+  }
+
+  co_await net_.deliver(client_, server, cfg_.query_bytes);
+  QueryResult res = co_await db_.execute(q);
+
+  // First batch rides on the query response.
+  const auto rows = static_cast<std::int64_t>(res.rows.size());
+  const auto fetch = static_cast<std::int64_t>(cfg_.fetch_size);
+  std::int64_t batches = rows <= fetch ? 1 : (rows + fetch - 1) / fetch;
+  net::Bytes per_batch = batches > 0 ? res.wire_bytes() / batches : res.wire_bytes();
+  co_await net_.deliver(server, client_, per_batch + 32);
+  for (std::int64_t b = 1; b < batches; ++b) {
+    ++fetch_round_trips_;
+    co_await net_.deliver(client_, server, cfg_.fetch_request_bytes);
+    co_await net_.deliver(server, client_, per_batch + 32);
+  }
+
+  if (cfg_.pool_connections) ++pooled_available_;
+  co_return res;
+}
+
+}  // namespace mutsvc::db

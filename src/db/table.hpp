@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace mutsvc::db {
+
+/// One relational table with an integer primary key (column 0) and optional
+/// secondary indexes on other columns.
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Column>& columns() const { return columns_; }
+  [[nodiscard]] std::size_t column_index(const std::string& col) const;
+
+  /// Builds a secondary index on `col`; existing rows are indexed.
+  void create_index(const std::string& col);
+  [[nodiscard]] bool has_index(const std::string& col) const;
+
+  void insert(Row row);
+
+  /// Replaces the row with the given primary key; throws if absent.
+  void update(std::int64_t pk, Row row);
+
+  /// In-place single-column update; throws if row absent.
+  void update_column(std::int64_t pk, const std::string& col, Value v);
+
+  bool erase(std::int64_t pk);
+
+  [[nodiscard]] std::optional<Row> get(std::int64_t pk) const;
+  [[nodiscard]] bool contains(std::int64_t pk) const { return rows_.contains(pk); }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::int64_t max_pk() const { return rows_.empty() ? 0 : rows_.rbegin()->first; }
+
+  /// All rows whose `col` equals `v`. Uses a secondary index when present;
+  /// falls back to a full scan.
+  [[nodiscard]] std::vector<Row> find_equal(const std::string& col, const Value& v) const;
+
+  /// Full scan with predicate (used by keyword search and aggregates).
+  [[nodiscard]] std::vector<Row> scan(
+      const std::function<bool(const Row&)>& predicate) const;
+
+  /// Mean wire size per row (from a sample), for transfer estimation.
+  [[nodiscard]] std::int64_t approx_row_bytes() const;
+
+ private:
+  void index_row(const Row& row, std::int64_t pk);
+  void unindex_row(const Row& row, std::int64_t pk);
+  static std::string value_key(const Value& v);
+
+  std::string name_;
+  std::vector<Column> columns_;
+  std::map<std::int64_t, Row> rows_;  // ordered: deterministic scans
+  // index name -> (value key -> pks)
+  std::unordered_map<std::string, std::multimap<std::string, std::int64_t>> indexes_;
+};
+
+}  // namespace mutsvc::db

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mutsvc::db {
+
+/// A cell value. Kept deliberately small: the applications only need
+/// integers, reals, and text.
+using Value = std::variant<std::int64_t, double, std::string>;
+
+using Row = std::vector<Value>;
+
+[[nodiscard]] inline std::int64_t as_int(const Value& v) { return std::get<std::int64_t>(v); }
+[[nodiscard]] inline double as_real(const Value& v) { return std::get<double>(v); }
+[[nodiscard]] inline const std::string& as_text(const Value& v) {
+  return std::get<std::string>(v);
+}
+
+enum class ColumnType { kInt, kReal, kText };
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+};
+
+[[nodiscard]] inline bool matches_type(const Value& v, ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt: return std::holds_alternative<std::int64_t>(v);
+    case ColumnType::kReal: return std::holds_alternative<double>(v);
+    case ColumnType::kText: return std::holds_alternative<std::string>(v);
+  }
+  return false;
+}
+
+/// Approximate wire size of a value, used by the JDBC model to estimate
+/// result-set transfer sizes.
+[[nodiscard]] inline std::int64_t wire_size(const Value& v) {
+  if (std::holds_alternative<std::int64_t>(v)) return 8;
+  if (std::holds_alternative<double>(v)) return 8;
+  return static_cast<std::int64_t>(std::get<std::string>(v).size()) + 4;
+}
+
+[[nodiscard]] inline std::int64_t wire_size(const Row& r) {
+  std::int64_t total = 0;
+  for (const auto& v : r) total += wire_size(v);
+  return total;
+}
+
+}  // namespace mutsvc::db

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/types.hpp"
+#include "sim/task.hpp"
+
+namespace mutsvc::msg {
+
+/// A JMS-style publish/subscribe topic (§4.5).
+///
+/// The provider lives on a node (the paper hosts it with the main server).
+/// `publish` delivers the message to the provider, then fans it out to every
+/// subscriber asynchronously: the publisher's task completes as soon as the
+/// provider has the message — subscribers receive it later, each paying the
+/// network path from the provider to its own node plus a small MDB
+/// dispatch delay. Per-subscriber delivery is FIFO (JMS topic ordering).
+template <class T>
+class Topic {
+ public:
+  using Handler = std::function<sim::Task<void>(const T&)>;
+
+  Topic(net::Network& net, net::NodeId provider, std::string name,
+        sim::Duration mdb_dispatch = sim::us(300))
+      : net_(net), provider_(provider), name_(std::move(name)), mdb_dispatch_(mdb_dispatch) {}
+
+  Topic(const Topic&) = delete;
+  Topic& operator=(const Topic&) = delete;
+
+  [[nodiscard]] net::NodeId provider_node() const { return provider_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Registers a message-driven subscriber at `node`.
+  void subscribe(net::NodeId node, Handler handler) {
+    subscribers_.push_back(std::make_unique<Subscriber>(Subscriber{node, std::move(handler), {}, false}));
+  }
+
+  [[nodiscard]] std::size_t subscriber_count() const { return subscribers_.size(); }
+
+  /// Publishes a message of marshalled size `bytes`. Completes when the
+  /// provider has accepted the message; fan-out continues in the background.
+  [[nodiscard]] sim::Task<void> publish(net::NodeId from, T message, net::Bytes bytes) {
+    ++published_;
+    co_await net_.deliver(from, provider_, bytes);
+    auto shared = std::make_shared<const T>(std::move(message));
+    for (auto& sub : subscribers_) {
+      sub->queue.push_back(Pending{shared, bytes});
+      if (!sub->draining) {
+        sub->draining = true;
+        net_.simulator().spawn(drain(*sub));
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t delivery_retries() const { return delivery_retries_; }
+
+  /// How long the provider waits before redelivering to a partitioned
+  /// subscriber.
+  void set_retry_interval(sim::Duration d) { retry_interval_ = d; }
+
+  /// True when every published message has been handled by every subscriber.
+  [[nodiscard]] bool quiescent() const {
+    return delivered_ == published_ * subscribers_.size();
+  }
+
+ private:
+  struct Pending {
+    std::shared_ptr<const T> message;
+    net::Bytes bytes;
+  };
+  struct Subscriber {
+    net::NodeId node;
+    Handler handler;
+    std::vector<Pending> queue;
+    bool draining = false;
+  };
+
+  sim::Task<void> drain(Subscriber& sub) {
+    while (!sub.queue.empty()) {
+      // At-least-once delivery: on a network partition the provider holds
+      // the message and retries until the subscriber is reachable again.
+      // (co_await is illegal inside a catch block, hence the flag.)
+      bool sent = false;
+      try {
+        co_await net_.deliver(provider_, sub.node, sub.queue.front().bytes);
+        sent = true;
+      } catch (const net::NoRouteError&) {
+        ++delivery_retries_;
+      }
+      if (!sent) {
+        co_await net_.simulator().wait(retry_interval_);
+        continue;
+      }
+      Pending p = std::move(sub.queue.front());
+      sub.queue.erase(sub.queue.begin());
+      co_await net_.simulator().wait(mdb_dispatch_);  // onMessage dispatch
+      co_await sub.handler(*p.message);
+      ++delivered_;
+    }
+    sub.draining = false;
+  }
+
+  net::Network& net_;
+  net::NodeId provider_;
+  std::string name_;
+  sim::Duration mdb_dispatch_;
+  std::vector<std::unique_ptr<Subscriber>> subscribers_;
+  sim::Duration retry_interval_ = sim::sec(5);
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t delivery_retries_ = 0;
+};
+
+}  // namespace mutsvc::msg

@@ -1,0 +1,29 @@
+#include "net/http.hpp"
+
+namespace mutsvc::net {
+
+sim::Task<void> HttpTransport::request(NodeId client, NodeId server, Bytes request_body,
+                                       std::function<sim::Task<Bytes>()> handler) {
+  ++requests_;
+
+  bool need_handshake = true;
+  if (cfg_.keep_alive) {
+    auto key = std::make_pair(client, server);
+    if (pooled_.contains(key)) {
+      need_handshake = false;
+    } else {
+      pooled_.insert(key);
+    }
+  }
+  if (need_handshake && client != server) {
+    ++handshakes_;
+    co_await net_.deliver(client, server, cfg_.handshake_bytes);  // SYN
+    co_await net_.deliver(server, client, cfg_.handshake_bytes);  // SYN-ACK
+  }
+
+  co_await net_.deliver(client, server, cfg_.request_overhead + request_body);
+  Bytes response_body = co_await handler();
+  co_await net_.deliver(server, client, cfg_.response_overhead + response_body);
+}
+
+}  // namespace mutsvc::net

@@ -1,0 +1,22 @@
+#include "net/network.hpp"
+
+namespace mutsvc::net {
+
+sim::Task<void> Network::deliver(NodeId from, NodeId to, Bytes size) {
+  ++messages_;
+  bytes_ += size;
+  if (from == to) co_return;  // loopback is free
+
+  bool crossed_wan = false;
+  for (Link* link : topo_.path(from, to)) {
+    if (link->latency >= wan_threshold_) crossed_wan = true;
+    co_await link->serializer->consume(link->transmission_time(size));
+    co_await sim_.wait(link->latency + per_hop_overhead_);
+  }
+  if (crossed_wan) {
+    ++wan_messages_;
+    wan_bytes_ += size;
+  }
+}
+
+}  // namespace mutsvc::net

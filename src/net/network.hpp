@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+#include "sim/task.hpp"
+
+namespace mutsvc::net {
+
+/// Moves messages across the topology.
+///
+/// Per directed link a message first queues at the link's FIFO serializer
+/// (transmission time = size / bandwidth) and then experiences the link's
+/// propagation latency; consecutive hops are traversed store-and-forward,
+/// with a small per-hop router overhead (the Click router of Figure 2).
+class Network {
+ public:
+  Network(sim::Simulator& sim, Topology& topo, sim::Duration per_hop_overhead = sim::us(50))
+      : sim_(sim), topo_(topo), per_hop_overhead_(per_hop_overhead) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Delivers one message; completes when the last byte arrives at `to`.
+  [[nodiscard]] sim::Task<void> deliver(NodeId from, NodeId to, Bytes size);
+
+  /// Round-trip propagation latency between two nodes (no queueing).
+  [[nodiscard]] sim::Duration rtt(NodeId a, NodeId b) { return topo_.rtt(a, b); }
+
+  [[nodiscard]] Topology& topology() { return topo_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  // --- accounting ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t wan_messages_sent() const { return wan_messages_; }
+  [[nodiscard]] Bytes bytes_sent() const { return bytes_; }
+  [[nodiscard]] Bytes wan_bytes_sent() const { return wan_bytes_; }
+  void reset_counters() {
+    messages_ = wan_messages_ = 0;
+    bytes_ = wan_bytes_ = 0;
+  }
+
+  /// A link is "WAN" if its propagation latency passes this threshold;
+  /// used only for accounting (tests assert WAN-crossing counts per page).
+  void set_wan_threshold(sim::Duration d) { wan_threshold_ = d; }
+
+ private:
+  sim::Simulator& sim_;
+  Topology& topo_;
+  sim::Duration per_hop_overhead_;
+  sim::Duration wan_threshold_ = sim::ms(10);
+  std::uint64_t messages_ = 0;
+  std::uint64_t wan_messages_ = 0;
+  Bytes bytes_ = 0;
+  Bytes wan_bytes_ = 0;
+};
+
+}  // namespace mutsvc::net

@@ -1,0 +1,60 @@
+#include "net/rmi.hpp"
+
+#include <cmath>
+
+namespace mutsvc::net {
+
+sim::Task<void> RmiTransport::call(NodeId caller, NodeId callee, Bytes args, Bytes result,
+                                   std::function<sim::Task<void>()> server_work) {
+  ++calls_;
+  if (caller == callee) {
+    co_await server_work();
+    co_return;
+  }
+  ++remote_calls_;
+
+  if (cfg_.extra_rtt_prob > 0.0 && rng_.bernoulli(cfg_.extra_rtt_prob)) {
+    ++extra_round_trips_;
+    co_await net_.deliver(caller, callee, cfg_.ping_bytes);
+    co_await net_.deliver(callee, caller, cfg_.ping_bytes);
+  }
+
+  auto inflate = [&](Bytes b) {
+    return static_cast<Bytes>(std::llround(static_cast<double>(b) * cfg_.dgc_traffic_factor));
+  };
+  co_await net_.deliver(caller, callee, inflate(cfg_.call_overhead + args));
+  co_await server_work();
+  co_await net_.deliver(callee, caller, inflate(cfg_.reply_overhead + result));
+}
+
+sim::Task<void> RmiTransport::call_dynamic(NodeId caller, NodeId callee, Bytes args,
+                                           std::function<sim::Task<Bytes>()> server_work) {
+  ++calls_;
+  if (caller == callee) {
+    (void)co_await server_work();
+    co_return;
+  }
+  ++remote_calls_;
+
+  if (cfg_.extra_rtt_prob > 0.0 && rng_.bernoulli(cfg_.extra_rtt_prob)) {
+    ++extra_round_trips_;
+    co_await net_.deliver(caller, callee, cfg_.ping_bytes);
+    co_await net_.deliver(callee, caller, cfg_.ping_bytes);
+  }
+
+  auto inflate = [&](Bytes b) {
+    return static_cast<Bytes>(std::llround(static_cast<double>(b) * cfg_.dgc_traffic_factor));
+  };
+  co_await net_.deliver(caller, callee, inflate(cfg_.call_overhead + args));
+  Bytes result = co_await server_work();
+  co_await net_.deliver(callee, caller, inflate(cfg_.reply_overhead + result));
+}
+
+sim::Task<void> RmiTransport::stub_exchange(NodeId caller, NodeId callee) {
+  if (caller == callee) co_return;
+  ++stub_exchanges_;
+  co_await net_.deliver(caller, callee, cfg_.stub_request);
+  co_await net_.deliver(callee, caller, cfg_.stub_response);
+}
+
+}  // namespace mutsvc::net

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/network.hpp"
+#include "net/types.hpp"
+#include "sim/random.hpp"
+
+namespace mutsvc::net {
+
+struct RmiConfig {
+  Bytes call_overhead = 300;   // marshalled method descriptor + headers
+  Bytes reply_overhead = 200;
+
+  /// §4.2: "RMI can require more than one round trip for a single method
+  /// invocation ... mainly due to ping packets and distributed garbage
+  /// collection" [Campadello et al.]. Fraction of calls paying one extra
+  /// small round trip.
+  double extra_rtt_prob = 0.25;
+
+  /// §4.3: "more than half of the data traffic incurred by RMI is due to
+  /// distributed garbage collection" — multiplier on transferred bytes.
+  double dgc_traffic_factor = 2.0;
+  Bytes ping_bytes = 64;
+
+  /// One JNDI lookup / stub-creation exchange (amortized away by the
+  /// EJBHomeFactory pattern; see comp::StubCache).
+  Bytes stub_request = 200;
+  Bytes stub_response = 1024;
+};
+
+/// Remote Method Invocation cost model over pooled container-to-container
+/// connections (no per-call TCP handshake).
+class RmiTransport {
+ public:
+  RmiTransport(Network& net, RmiConfig cfg = {})
+      : net_(net), cfg_(cfg), rng_(net.simulator().rng().fork("rmi")) {}
+
+  RmiTransport(const RmiTransport&) = delete;
+  RmiTransport& operator=(const RmiTransport&) = delete;
+
+  /// One remote invocation: marshal + request, server-side work
+  /// (caller-provided), reply. Local (same-node) calls are free at this
+  /// layer; the container adds local dispatch cost.
+  [[nodiscard]] sim::Task<void> call(NodeId caller, NodeId callee, Bytes args, Bytes result,
+                                     std::function<sim::Task<void>()> server_work);
+
+  /// Like `call`, but the reply payload size is produced by the server-side
+  /// work (result sets whose size is only known after execution).
+  [[nodiscard]] sim::Task<void> call_dynamic(NodeId caller, NodeId callee, Bytes args,
+                                             std::function<sim::Task<Bytes>()> server_work);
+
+  /// One stub-acquisition exchange (JNDI lookup or initial remote-stub
+  /// creation). Costs one round trip.
+  [[nodiscard]] sim::Task<void> stub_exchange(NodeId caller, NodeId callee);
+
+  [[nodiscard]] const RmiConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
+  [[nodiscard]] std::uint64_t remote_calls() const { return remote_calls_; }
+  [[nodiscard]] std::uint64_t extra_round_trips() const { return extra_round_trips_; }
+  [[nodiscard]] std::uint64_t stub_exchanges() const { return stub_exchanges_; }
+
+ private:
+  Network& net_;
+  RmiConfig cfg_;
+  sim::RngStream rng_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t remote_calls_ = 0;
+  std::uint64_t extra_round_trips_ = 0;
+  std::uint64_t stub_exchanges_ = 0;
+};
+
+}  // namespace mutsvc::net

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mutsvc::net {
+
+/// Identifies a node in the emulated topology.
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  explicit constexpr NodeId(std::uint32_t v) : v_(v) {}
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, NodeId id) { return os << "n" << id.v_; }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// Message payload size in bytes.
+using Bytes = std::int64_t;
+
+constexpr Bytes operator""_B(unsigned long long v) { return static_cast<Bytes>(v); }
+constexpr Bytes operator""_KB(unsigned long long v) { return static_cast<Bytes>(v * 1024); }
+
+}  // namespace mutsvc::net
+
+template <>
+struct std::hash<mutsvc::net::NodeId> {
+  std::size_t operator()(mutsvc::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

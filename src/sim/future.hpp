@@ -1,0 +1,129 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mutsvc::sim {
+
+/// One-shot asynchronous value, usable across coroutines.
+///
+/// `Promise<T>` is the producer side; `Future<T>` the (copyable, shared)
+/// consumer side. Waiters are resumed through the event queue at the time
+/// of fulfilment, so wake-ups interleave deterministically with other
+/// events scheduled at the same instant.
+template <class T>
+class Promise;
+
+namespace detail {
+
+template <class T>
+struct FutureState {
+  Simulator* sim = nullptr;
+  std::optional<T> value;
+  std::exception_ptr exception;
+  std::vector<std::coroutine_handle<>> waiters;
+
+  [[nodiscard]] bool ready() const { return value.has_value() || exception != nullptr; }
+
+  void wake_all() {
+    auto pending = std::move(waiters);
+    waiters.clear();
+    for (auto h : pending) {
+      sim->schedule_after(Duration::zero(), [h] { h.resume(); });
+    }
+  }
+};
+
+struct Unit {};
+
+}  // namespace detail
+
+template <class T>
+class Future {
+ public:
+  Future() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool ready() const { return state_ && state_->ready(); }
+
+  bool await_ready() const {
+    if (!state_) throw std::logic_error("await on invalid Future");
+    return state_->ready();
+  }
+  void await_suspend(std::coroutine_handle<> h) { state_->waiters.push_back(h); }
+  T await_resume() {
+    if (state_->exception) std::rethrow_exception(state_->exception);
+    return *state_->value;
+  }
+
+  /// Non-awaiting accessor for tests and post-run inspection.
+  [[nodiscard]] const T& get() const {
+    if (!ready()) throw std::logic_error("Future::get before ready");
+    if (state_->exception) std::rethrow_exception(state_->exception);
+    return *state_->value;
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> s) : state_(std::move(s)) {}
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <class T>
+class Promise {
+ public:
+  explicit Promise(Simulator& sim) : state_(std::make_shared<detail::FutureState<T>>()) {
+    state_->sim = &sim;
+  }
+
+  [[nodiscard]] Future<T> future() const { return Future<T>{state_}; }
+
+  void set_value(T v) {
+    if (state_->ready()) throw std::logic_error("Promise fulfilled twice");
+    state_->value = std::move(v);
+    state_->wake_all();
+  }
+
+  void set_exception(std::exception_ptr e) {
+    if (state_->ready()) throw std::logic_error("Promise fulfilled twice");
+    state_->exception = std::move(e);
+    state_->wake_all();
+  }
+
+  [[nodiscard]] bool fulfilled() const { return state_->ready(); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Event-style future with no payload.
+class Signal {
+ public:
+  explicit Signal(Simulator& sim) : promise_(sim) {}
+
+  void fire() {
+    if (!promise_.fulfilled()) promise_.set_value(detail::Unit{});
+  }
+  [[nodiscard]] bool fired() const { return promise_.fulfilled(); }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Future<detail::Unit> f;
+      bool await_ready() { return f.await_ready(); }
+      void await_suspend(std::coroutine_handle<> h) { f.await_suspend(h); }
+      void await_resume() { (void)f.await_resume(); }
+    };
+    return Awaiter{promise_.future()};
+  }
+
+ private:
+  Promise<detail::Unit> promise_;
+};
+
+}  // namespace mutsvc::sim

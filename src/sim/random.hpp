@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mutsvc::sim {
+
+/// A deterministic, named random stream.
+///
+/// Every source of randomness in a simulation draws from its own stream,
+/// derived from the root seed and a name; this keeps runs reproducible and
+/// makes components statistically independent of each other's draw order.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed)
+      : engine_(seed), seed_mix_(0xcbf29ce484222325ULL ^ (seed * 0x9e3779b97f4a7c15ULL)) {}
+
+  /// Derives an independent child stream. The child's seed is a stable
+  /// function of this stream's seed and `name` (not of any draws made).
+  [[nodiscard]] RngStream fork(std::string_view name) const {
+    std::uint64_t h = seed_mix_;
+    for (char c : name) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+    return RngStream{h, /*mix=*/h * 0x9e3779b97f4a7c15ULL};
+  }
+
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  [[nodiscard]] double exponential(double mean) {
+    if (mean <= 0.0) throw std::invalid_argument("exponential: mean must be > 0");
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  [[nodiscard]] Duration exponential(Duration mean) {
+    return Duration::seconds(exponential(mean.as_seconds()));
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// its weight. Weights need not be normalized.
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights) {
+    if (weights.empty()) throw std::invalid_argument("weighted_index: empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("weighted_index: negative weight");
+      total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("weighted_index: zero total weight");
+    double r = uniform01() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  template <class T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) {
+    if (items.empty()) throw std::invalid_argument("pick: empty vector");
+    return items[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+ private:
+  RngStream(std::uint64_t seed, std::uint64_t mix) : engine_(seed), seed_mix_(mix) {}
+
+  std::mt19937_64 engine_;
+  std::uint64_t seed_mix_;
+};
+
+}  // namespace mutsvc::sim

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mutsvc::sim {
+
+/// A FIFO multi-server resource (e.g. a CPU pool with k processors).
+///
+/// Requests are served in arrival order; each holder occupies one server
+/// until release. Tracks the busy-time integral so callers can compute
+/// utilization over a measurement window.
+class FifoResource {
+ public:
+  FifoResource(Simulator& sim, std::size_t servers, std::string name = "resource")
+      : sim_(sim), servers_(servers), free_(servers), name_(std::move(name)) {
+    if (servers == 0) throw std::invalid_argument("FifoResource: servers must be > 0");
+  }
+
+  FifoResource(const FifoResource&) = delete;
+  FifoResource& operator=(const FifoResource&) = delete;
+
+  /// Awaitable acquisition of one server slot.
+  [[nodiscard]] auto acquire() {
+    struct Awaiter {
+      FifoResource& r;
+      bool await_ready() {
+        if (r.free_ > 0) {
+          r.take_slot();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { r.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Releases one previously acquired server slot.
+  void release() {
+    if (busy_ == 0) throw std::logic_error("FifoResource::release without acquire");
+    accumulate_busy();
+    --busy_;
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      ++busy_;  // hand the slot straight to the next waiter
+      sim_.schedule_after(Duration::zero(), [h] { h.resume(); });
+    } else {
+      ++free_;
+    }
+  }
+
+  /// Acquires a server, holds it for `d`, releases. This is the common
+  /// "consume CPU" primitive.
+  [[nodiscard]] Task<void> consume(Duration d) {
+    co_await acquire();
+    co_await sim_.wait(d);
+    release();
+  }
+
+  [[nodiscard]] std::size_t servers() const { return servers_; }
+  [[nodiscard]] std::size_t busy() const { return busy_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiters_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Resets the utilization accounting window (call at end of warm-up).
+  void reset_utilization() {
+    accumulate_busy();
+    busy_integral_ = Duration::zero();
+    integral_reset_at_ = sim_.now();
+  }
+
+  /// Mean per-server utilization since the last reset (or sim start).
+  [[nodiscard]] double utilization() {
+    accumulate_busy();
+    Duration window = sim_.now() - integral_reset_at_;
+    if (window <= Duration::zero()) return 0.0;
+    return busy_integral_ / window / static_cast<double>(servers_);
+  }
+
+ private:
+  void take_slot() {
+    accumulate_busy();
+    --free_;
+    ++busy_;
+  }
+
+  void accumulate_busy() {
+    busy_integral_ += (sim_.now() - last_change_) * static_cast<double>(busy_);
+    last_change_ = sim_.now();
+  }
+
+  Simulator& sim_;
+  std::size_t servers_;
+  std::size_t free_;
+  std::size_t busy_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+  std::string name_;
+  Duration busy_integral_ = Duration::zero();
+  SimTime last_change_ = SimTime::origin();
+  SimTime integral_reset_at_ = SimTime::origin();
+};
+
+/// A FIFO mutual-exclusion lock for simulated tasks.
+class SimMutex {
+ public:
+  explicit SimMutex(Simulator& sim) : res_(sim, 1, "mutex") {}
+
+  [[nodiscard]] auto acquire() { return res_.acquire(); }
+  void release() { res_.release(); }
+  [[nodiscard]] bool locked() const { return res_.busy() > 0; }
+  [[nodiscard]] std::size_t queue_length() const { return res_.queue_length(); }
+
+ private:
+  FifoResource res_;
+};
+
+}  // namespace mutsvc::sim

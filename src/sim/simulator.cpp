@@ -1,0 +1,61 @@
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+#include <exception>
+
+namespace mutsvc::sim {
+
+namespace {
+
+/// Eager, self-destroying root coroutine used by Simulator::spawn.
+struct DetachedTask {
+  struct promise_type {
+    DetachedTask get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      try {
+        std::rethrow_exception(std::current_exception());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "mutsvc: exception escaped detached task: %s\n", e.what());
+      } catch (...) {
+        std::fprintf(stderr, "mutsvc: unknown exception escaped detached task\n");
+      }
+      std::terminate();
+    }
+  };
+};
+
+DetachedTask run_detached(Task<void> task) { co_await std::move(task); }
+
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::spawn(Task<void> task) {
+  if (!task.valid()) return;
+  run_detached(std::move(task));
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // Copy out before pop: the handler may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  executed_ += executed;
+  if (until != SimTime::max() && now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace mutsvc::sim

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mutsvc::sim {
+
+/// Discrete-event simulation kernel.
+///
+/// Owns the virtual clock and the event heap. Events scheduled for the same
+/// time fire in insertion order (stable FIFO tie-break), which makes runs
+/// fully deterministic.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (clamped to now()).
+  void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `after` from now.
+  void schedule_after(Duration after, std::function<void()> fn) {
+    schedule_at(now_ + after, std::move(fn));
+  }
+
+  /// Launches a top-level coroutine. The task starts immediately (runs
+  /// until its first suspension point) and its frame self-destroys on
+  /// completion. An exception escaping a detached task terminates the
+  /// simulation with a diagnostic — detached failures must not be silent.
+  void spawn(Task<void> task);
+
+  /// Awaitable that suspends the current task for `d` of simulated time.
+  [[nodiscard]] auto wait(Duration d) {
+    struct Awaiter {
+      Simulator& sim;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_after(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable that reschedules the current task at the back of the
+  /// current-time event queue (a cooperative yield).
+  [[nodiscard]] auto yield() { return wait(Duration::zero()); }
+
+  /// Runs until the event queue empties or the clock passes `until`.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime until = SimTime::max());
+
+  /// Runs for `d` of simulated time from the current clock.
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t executed_events() const { return executed_; }
+
+  /// Root RNG; subsystems should fork named streams from it.
+  [[nodiscard]] RngStream& rng() { return rng_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;  // min-heap on time
+      return a.seq > b.seq;                  // FIFO among equal times
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  RngStream rng_;
+};
+
+}  // namespace mutsvc::sim

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace mutsvc::sim {
+
+/// A span of simulated time, with microsecond resolution.
+///
+/// Strong type: cannot be silently mixed with raw integers or wall-clock
+/// time. Construct via the `us()` / `ms()` / `sec()` factories.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t v) { return Duration{v}; }
+  [[nodiscard]] static constexpr Duration millis(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1000.0)};
+  }
+  [[nodiscard]] static constexpr Duration seconds(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1'000'000.0)};
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return micros_; }
+  [[nodiscard]] constexpr double as_millis() const { return static_cast<double>(micros_) / 1000.0; }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(micros_) / 1'000'000.0;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration o) {
+    micros_ += o.micros_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    micros_ -= o.micros_;
+    return *this;
+  }
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.micros_ + b.micros_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.micros_ - b.micros_}; }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(a.micros_) * k)};
+  }
+  friend constexpr Duration operator*(double k, Duration a) { return a * k; }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.micros_) / static_cast<double>(b.micros_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.as_millis() << "ms";
+  }
+
+ private:
+  explicit constexpr Duration(std::int64_t v) : micros_(v) {}
+  std::int64_t micros_ = 0;
+};
+
+/// Convenience factories, intended to be brought in with
+/// `using namespace mutsvc::sim::literals;` or qualified.
+[[nodiscard]] constexpr Duration us(std::int64_t v) { return Duration::micros(v); }
+[[nodiscard]] constexpr Duration ms(double v) { return Duration::millis(v); }
+[[nodiscard]] constexpr Duration sec(double v) { return Duration::seconds(v); }
+
+/// An absolute point on the simulated clock (microseconds since sim start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime origin() { return SimTime{}; }
+  [[nodiscard]] static constexpr SimTime from_micros(std::int64_t v) { return SimTime{v}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return micros_; }
+  [[nodiscard]] constexpr double as_millis() const { return static_cast<double>(micros_) / 1000.0; }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(micros_) / 1'000'000.0;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.micros_ + d.count_micros()};
+  }
+  friend constexpr SimTime operator+(Duration d, SimTime t) { return t + d; }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime{t.micros_ - d.count_micros()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration::micros(a.micros_ - b.micros_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.as_millis() << "ms";
+  }
+
+ private:
+  explicit constexpr SimTime(std::int64_t v) : micros_(v) {}
+  std::int64_t micros_ = 0;
+};
+
+}  // namespace mutsvc::sim

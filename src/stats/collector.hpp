@@ -1,0 +1,115 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+namespace mutsvc::stats {
+
+/// Identifies a client group the way the paper's tables do.
+enum class ClientGroup { kLocal, kRemote };
+
+[[nodiscard]] inline const char* to_string(ClientGroup g) {
+  return g == ClientGroup::kLocal ? "Local" : "Remote";
+}
+
+/// Collects per-(page, group) and per-(usage-pattern, group) response
+/// times, excluding a warm-up window — mirroring §3.3's methodology
+/// ("each test ... preceded by several minutes of system warm-up").
+class ResponseTimeCollector {
+ public:
+  explicit ResponseTimeCollector(sim::Duration warmup = sim::Duration::zero())
+      : warmup_(warmup) {}
+
+  void set_warmup(sim::Duration warmup) { warmup_ = warmup; }
+  [[nodiscard]] sim::Duration warmup() const { return warmup_; }
+
+  /// Stable key for a page within a usage pattern (the paper's tables list
+  /// e.g. "Main" separately under Browser and Buyer).
+  [[nodiscard]] static std::string page_key(const std::string& pattern, const std::string& page) {
+    return pattern + "|" + page;
+  }
+
+  /// Records one completed page request.
+  /// `pattern` is the service usage pattern (e.g. "Browser", "Buyer").
+  void record(sim::SimTime completed_at, const std::string& page, const std::string& pattern,
+              ClientGroup group, sim::Duration response_time) {
+    if (completed_at < sim::SimTime::origin() + warmup_) {
+      ++discarded_;
+      return;
+    }
+    double ms = response_time.as_millis();
+    by_page_[{page_key(pattern, page), group}].add(ms);
+    by_pattern_[{pattern, group}].add(ms);
+    if (series_window_ > sim::Duration::zero()) {
+      auto& ts = series_[group];
+      if (ts == nullptr) ts = std::make_unique<TimeSeries>(series_window_);
+      ts->add(completed_at, ms);
+    }
+  }
+
+  /// Enables per-group windowed time series (response time over the run);
+  /// used by the failure/recovery benchmarks. Call before the run.
+  void enable_timeseries(sim::Duration window) { series_window_ = window; }
+
+  [[nodiscard]] const TimeSeries* timeseries(ClientGroup group) const {
+    auto it = series_.find(group);
+    return it == series_.end() ? nullptr : it->second.get();
+  }
+
+  [[nodiscard]] const Summary* page_summary(const std::string& pattern, const std::string& page,
+                                            ClientGroup group) const {
+    auto it = by_page_.find({page_key(pattern, page), group});
+    return it == by_page_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const Summary* pattern_summary(const std::string& pattern,
+                                               ClientGroup group) const {
+    auto it = by_pattern_.find({pattern, group});
+    return it == by_pattern_.end() ? nullptr : &it->second;
+  }
+
+  /// Mean in ms, or -1 if no samples (rendered as "-" by the reporters).
+  [[nodiscard]] double page_mean_ms(const std::string& pattern, const std::string& page,
+                                    ClientGroup group) const {
+    const Summary* s = page_summary(pattern, page, group);
+    return (s == nullptr || s->empty()) ? -1.0 : s->mean();
+  }
+
+  [[nodiscard]] double pattern_mean_ms(const std::string& pattern, ClientGroup group) const {
+    const Summary* s = pattern_summary(pattern, group);
+    return (s == nullptr || s->empty()) ? -1.0 : s->mean();
+  }
+
+  [[nodiscard]] std::size_t total_samples() const {
+    std::size_t n = 0;
+    for (const auto& [k, v] : by_page_) n += v.count();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t discarded_samples() const { return discarded_; }
+
+  [[nodiscard]] std::vector<std::string> pages() const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : by_page_) {
+      if (out.empty() || out.back() != k.first) out.push_back(k.first);
+    }
+    return out;
+  }
+
+ private:
+  using Key = std::pair<std::string, ClientGroup>;
+  sim::Duration warmup_;
+  std::map<Key, Summary> by_page_;
+  std::map<Key, Summary> by_pattern_;
+  sim::Duration series_window_ = sim::Duration::zero();
+  std::map<ClientGroup, std::unique_ptr<TimeSeries>> series_;
+  std::size_t discarded_ = 0;
+};
+
+}  // namespace mutsvc::stats

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace mutsvc::stats {
+
+/// Accumulates a sample set and answers summary queries.
+///
+/// Stores raw samples (the experiment scale — a few hundred thousand
+/// doubles — makes exact percentiles affordable), plus Welford running
+/// moments so mean/variance stay numerically stable.
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+  [[nodiscard]] double mean() const {
+    if (n_ == 0) throw std::logic_error("Summary::mean on empty summary");
+    return mean_;
+  }
+
+  [[nodiscard]] double variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  [[nodiscard]] double min() const {
+    if (n_ == 0) throw std::logic_error("Summary::min on empty summary");
+    return min_;
+  }
+
+  [[nodiscard]] double max() const {
+    if (n_ == 0) throw std::logic_error("Summary::max on empty summary");
+    return max_;
+  }
+
+  /// Exact percentile via nearest-rank on the sorted samples, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    if (n_ == 0) throw std::logic_error("Summary::percentile on empty summary");
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+    ensure_sorted();
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n_)));
+    if (rank == 0) rank = 1;
+    return samples_[rank - 1];
+  }
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Half-width of the 95% confidence interval for the mean
+  /// (normal approximation; our sample counts are large).
+  [[nodiscard]] double ci95_halfwidth() const {
+    if (n_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+  void merge(const Summary& other) {
+    for (double x : other.samples_) add(x);
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mutsvc::stats

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mutsvc::stats {
+
+/// Minimal fixed-width text-table writer used by the benchmark harness to
+/// print paper-style result tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Renders a numeric cell the way the paper does: integral milliseconds,
+  /// "-" when there is no data.
+  [[nodiscard]] static std::string cell_ms(double ms) {
+    if (ms < 0.0) return "-";
+    std::ostringstream os;
+    os << static_cast<long long>(ms + 0.5);
+    return os.str();
+  }
+
+  [[nodiscard]] static std::string cell_fixed(double v, int digits) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    print_row(os, header_, widths);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 3;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+      os << (i + 1 < widths.size() ? " | " : "");
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mutsvc::stats

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/summary.hpp"
+
+namespace mutsvc::stats {
+
+/// Fixed-width windowed aggregation of a metric over simulated time —
+/// response time over the run, request rate during an outage, replica lag
+/// during recovery. Windows are created lazily up to the latest sample.
+class TimeSeries {
+ public:
+  explicit TimeSeries(sim::Duration window) : window_(window) {
+    if (window <= sim::Duration::zero()) {
+      throw std::invalid_argument("TimeSeries: window must be positive");
+    }
+  }
+
+  void add(sim::SimTime at, double value) {
+    const std::size_t idx = index_of(at);
+    if (idx >= windows_.size()) windows_.resize(idx + 1);
+    windows_[idx].add(value);
+  }
+
+  /// Number of windows touched so far (trailing empty windows included).
+  [[nodiscard]] std::size_t window_count() const { return windows_.size(); }
+  [[nodiscard]] sim::Duration window_width() const { return window_; }
+
+  [[nodiscard]] const Summary& window(std::size_t i) const { return windows_.at(i); }
+
+  [[nodiscard]] sim::SimTime window_start(std::size_t i) const {
+    return sim::SimTime::origin() + window_ * static_cast<double>(i);
+  }
+
+  /// Mean per window; empty windows yield `empty_value` (default -1).
+  [[nodiscard]] std::vector<double> window_means(double empty_value = -1.0) const {
+    std::vector<double> out;
+    out.reserve(windows_.size());
+    for (const auto& w : windows_) out.push_back(w.empty() ? empty_value : w.mean());
+    return out;
+  }
+
+  /// Count per window — e.g. achieved request throughput.
+  [[nodiscard]] std::vector<std::size_t> window_counts() const {
+    std::vector<std::size_t> out;
+    out.reserve(windows_.size());
+    for (const auto& w : windows_) out.push_back(w.count());
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index_of(sim::SimTime at) const {
+    const auto micros = at.count_micros();
+    if (micros < 0) throw std::invalid_argument("TimeSeries: negative time");
+    return static_cast<std::size_t>(micros / window_.count_micros());
+  }
+
+  sim::Duration window_;
+  std::vector<Summary> windows_;
+};
+
+}  // namespace mutsvc::stats

@@ -1,0 +1,52 @@
+#include "workload/loadgen.hpp"
+
+#include <cmath>
+
+namespace mutsvc::workload {
+
+void LoadGenerator::start_group(const ClientGroupSpec& spec, sim::SimTime end_at,
+                                sim::RngStream rng) {
+  // Open-loop sizing: each client issues ~1/think_time requests per second,
+  // so the group needs rate*think_time concurrent clients.
+  const double think_s = cfg_.think_time.as_seconds();
+  const auto browsers = static_cast<int>(
+      std::lround(spec.requests_per_second * spec.browser_fraction * think_s));
+  const auto writers = static_cast<int>(
+      std::lround(spec.requests_per_second * (1.0 - spec.browser_fraction) * think_s));
+
+  for (int i = 0; i < browsers; ++i) {
+    sim_.spawn(run_client(spec, /*is_browser=*/true, end_at,
+                          rng.fork("browser-" + std::to_string(i))));
+  }
+  for (int i = 0; i < writers; ++i) {
+    sim_.spawn(run_client(spec, /*is_browser=*/false, end_at,
+                          rng.fork("writer-" + std::to_string(i))));
+  }
+}
+
+sim::Task<void> LoadGenerator::run_client(ClientGroupSpec spec, bool is_browser,
+                                          sim::SimTime end_at, sim::RngStream rng) {
+  // Stagger client start uniformly across one think interval so the fleet
+  // does not fire in lock-step.
+  co_await sim_.wait(sim::Duration::seconds(rng.uniform(0.0, cfg_.think_time.as_seconds())));
+
+  while (sim_.now() < end_at) {
+    auto script = is_browser ? spec.browser_factory() : spec.writer_factory();
+    ++sessions_;
+    while (auto req = script->next()) {
+      if (sim_.now() >= end_at) co_return;
+      const sim::SimTime start = sim_.now();
+      co_await executor_.execute(spec.client_node, *req);
+      const sim::Duration response_time = sim_.now() - start;
+      ++requests_;
+      collector_.record(sim_.now(), req->page, req->pattern, spec.group, response_time);
+      // Soft delay (§3.3): DELAY - response_time, so DELAY is the interval
+      // between *sending* successive requests.
+      const sim::Duration remaining = cfg_.think_time - response_time;
+      if (remaining > sim::Duration::zero()) co_await sim_.wait(remaining);
+    }
+    co_await sim_.wait(cfg_.between_sessions);
+  }
+}
+
+}  // namespace mutsvc::workload

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "stats/collector.hpp"
+#include "workload/session.hpp"
+
+namespace mutsvc::workload {
+
+/// How a page request actually reaches the service; implemented by the
+/// experiment harness (HTTP + container runtime).
+class RequestExecutor {
+ public:
+  virtual ~RequestExecutor() = default;
+  [[nodiscard]] virtual sim::Task<void> execute(net::NodeId client_node,
+                                                const PageRequest& request) = 0;
+};
+
+/// One group of client machines co-located with an application server
+/// (§3.1: "three client machines for each application server").
+struct ClientGroupSpec {
+  net::NodeId client_node;          // the LAN node the clients sit on
+  stats::ClientGroup group = stats::ClientGroup::kLocal;
+  double requests_per_second = 10;  // this group's share of the combined load
+  double browser_fraction = 0.8;    // §3.3: 80% browsers, 20% buyers/bidders
+  SessionFactory browser_factory;
+  SessionFactory writer_factory;    // buyer (Pet Store) / bidder (RUBiS)
+};
+
+struct LoadGenConfig {
+  /// Soft inter-request DELAY (§3.3): the interval between *sending*
+  /// requests, independent of response time.
+  sim::Duration think_time = sim::sec(7);
+  /// Pause between consecutive sessions of one simulated client.
+  sim::Duration between_sessions = sim::sec(2);
+};
+
+/// Open-loop client driver implementing §3.3.
+///
+/// Each group runs `ceil(rate * think_time)` concurrent clients; a client
+/// repeatedly executes sessions, waiting `DELAY - response_time` (clamped
+/// at zero) after each request — the paper's soft delay, which keeps the
+/// offered load steady regardless of response times.
+class LoadGenerator {
+ public:
+  LoadGenerator(sim::Simulator& sim, RequestExecutor& executor,
+                stats::ResponseTimeCollector& collector, LoadGenConfig cfg = {})
+      : sim_(sim), executor_(executor), collector_(collector), cfg_(cfg) {}
+
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  /// Spawns all client tasks for `spec`. Clients run until `end_at`.
+  void start_group(const ClientGroupSpec& spec, sim::SimTime end_at, sim::RngStream rng);
+
+  [[nodiscard]] std::uint64_t requests_issued() const { return requests_; }
+  [[nodiscard]] std::uint64_t sessions_started() const { return sessions_; }
+
+ private:
+  [[nodiscard]] sim::Task<void> run_client(ClientGroupSpec spec, bool is_browser,
+                                           sim::SimTime end_at, sim::RngStream rng);
+
+  sim::Simulator& sim_;
+  RequestExecutor& executor_;
+  stats::ResponseTimeCollector& collector_;
+  LoadGenConfig cfg_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t sessions_ = 0;
+};
+
+}  // namespace mutsvc::workload

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+#include "net/types.hpp"
+
+namespace mutsvc::workload {
+
+/// One page request a simulated client issues (a row of Tables 2–5).
+struct PageRequest {
+  std::string page;       // display name used in the results tables
+  std::string pattern;    // service usage pattern: "Browser", "Buyer", "Bidder"
+  std::string component;  // entry web component
+  std::string method;
+  std::vector<db::Value> args;
+  net::Bytes request_bytes = 350;
+  net::Bytes response_bytes = 6 * 1024;
+};
+
+/// A *service usage pattern* (§3.2): a frequently executed scenario of
+/// service invocation. Concrete scripts produce a logically ordered page
+/// sequence (e.g. an Item request always follows the Product it belongs
+/// to); returning nullopt ends the session.
+class SessionScript {
+ public:
+  virtual ~SessionScript() = default;
+  [[nodiscard]] virtual std::optional<PageRequest> next() = 0;
+  [[nodiscard]] virtual const char* pattern() const = 0;
+};
+
+using SessionFactory = std::function<std::unique_ptr<SessionScript>()>;
+
+}  // namespace mutsvc::workload

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "component/descriptor.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace mutsvc::comp {
+namespace {
+
+struct DescriptorWorld {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::NodeId main, edge1, edge2, clients;
+
+  DescriptorWorld() {
+    main = topo.add_node("main-as", net::NodeRole::kAppServer);
+    edge1 = topo.add_node("edge-as-1", net::NodeRole::kAppServer);
+    edge2 = topo.add_node("edge-as-2", net::NodeRole::kAppServer);
+    clients = topo.add_node("clients-main", net::NodeRole::kClientMachine);
+  }
+
+  DeploymentPlan sample_plan() {
+    DeploymentPlan plan;
+    plan.set_main_server(main);
+    plan.add_edge_server(edge1);
+    plan.add_edge_server(edge2);
+    plan.place("Catalog", main);
+    plan.place("Catalog", edge1);
+    plan.place("Web", main);
+    plan.enable(Feature::kRemoteFacade);
+    plan.enable(Feature::kStubCaching);
+    plan.enable(Feature::kAsyncUpdates);
+    plan.set_query_refresh(QueryRefreshMode::kPull);
+    plan.set_staleness_bound(4);
+    plan.replicate_read_only("Item", edge1);
+    plan.replicate_read_only("Item", edge2);
+    plan.add_query_cache(edge2);
+    plan.set_entry_point(clients, main);
+    return plan;
+  }
+};
+
+TEST(DescriptorTest, SerializeMentionsAllSections) {
+  DescriptorWorld w;
+  std::string text = serialize_descriptor(w.sample_plan(), w.topo);
+  for (const char* needle :
+       {"main-server: main-as", "edge-servers: edge-as-1, edge-as-2", "remote-facade",
+        "asynchronous-updates", "query-refresh: pull", "staleness-bound: 4", "[placement]",
+        "Catalog: main-as, edge-as-1", "[read-only-replicas]", "Item: edge-as-1, edge-as-2",
+        "[query-caches]", "[entry-points]", "clients-main: main-as"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+}
+
+TEST(DescriptorTest, RoundTripPreservesEverything) {
+  DescriptorWorld w;
+  DeploymentPlan original = w.sample_plan();
+  DeploymentPlan parsed = parse_descriptor(serialize_descriptor(original, w.topo), w.topo);
+
+  EXPECT_EQ(parsed.main_server(), original.main_server());
+  EXPECT_EQ(parsed.edge_servers(), original.edge_servers());
+  for (Feature f : {Feature::kRemoteFacade, Feature::kStubCaching,
+                    Feature::kStatefulComponentCaching, Feature::kQueryCaching,
+                    Feature::kAsyncUpdates}) {
+    EXPECT_EQ(parsed.has(f), original.has(f)) << to_string(f);
+  }
+  EXPECT_EQ(parsed.query_refresh(), original.query_refresh());
+  EXPECT_EQ(parsed.staleness_bound(), original.staleness_bound());
+  EXPECT_EQ(parsed.placements(), original.placements());
+  EXPECT_EQ(parsed.ro_replicas(), original.ro_replicas());
+  EXPECT_EQ(parsed.query_cache_nodes(), original.query_cache_nodes());
+  EXPECT_EQ(parsed.entry_point(w.clients), original.entry_point(w.clients));
+}
+
+TEST(DescriptorTest, SecondRoundTripIsIdentical) {
+  DescriptorWorld w;
+  std::string once = serialize_descriptor(w.sample_plan(), w.topo);
+  std::string twice = serialize_descriptor(parse_descriptor(once, w.topo), w.topo);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(DescriptorTest, CommentsAndBlankLinesIgnored) {
+  DescriptorWorld w;
+  DeploymentPlan plan = parse_descriptor(
+      "# a comment\n"
+      "\n"
+      "main-server: main-as  # trailing comment\n"
+      "edge-servers: edge-as-1\n",
+      w.topo);
+  EXPECT_EQ(plan.main_server(), w.main);
+  ASSERT_EQ(plan.edge_servers().size(), 1u);
+}
+
+TEST(DescriptorTest, MalformedInputThrows) {
+  DescriptorWorld w;
+  EXPECT_THROW((void)parse_descriptor("nonsense line without colon\n", w.topo),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_descriptor("[broken section\n", w.topo), std::invalid_argument);
+  EXPECT_THROW((void)parse_descriptor("unknown-key: x\n", w.topo), std::invalid_argument);
+  EXPECT_THROW((void)parse_descriptor("main-server: no-such-node\n", w.topo),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_descriptor("features: not-a-feature\n", w.topo),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_descriptor("query-refresh: sideways\n", w.topo),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_descriptor("[weird]\nk: v\n", w.topo), std::invalid_argument);
+}
+
+TEST(DescriptorTest, FeatureNameRoundTrip) {
+  for (Feature f : {Feature::kRemoteFacade, Feature::kStubCaching,
+                    Feature::kStatefulComponentCaching, Feature::kQueryCaching,
+                    Feature::kAsyncUpdates}) {
+    EXPECT_EQ(feature_from_string(to_string(f)), f);
+  }
+  EXPECT_EQ(refresh_from_string("pull"), QueryRefreshMode::kPull);
+  EXPECT_EQ(refresh_from_string("push"), QueryRefreshMode::kPush);
+}
+
+}  // namespace
+}  // namespace mutsvc::comp

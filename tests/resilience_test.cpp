@@ -1,0 +1,218 @@
+// Failure injection and the relaxed-consistency extension: link/node
+// failures, entry-point failover, JMS redelivery, version-monotonic cache
+// fills, and the TACT-style staleness bound.
+#include <gtest/gtest.h>
+
+#include "apps/rubis/rubis.hpp"
+#include "cache/read_only_cache.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "messaging/topic.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace mutsvc {
+namespace {
+
+using sim::Duration;
+using sim::ms;
+using sim::sec;
+using sim::Simulator;
+using sim::Task;
+
+// --- topology failure primitives ----------------------------------------------
+
+struct FailWorld {
+  Simulator sim{1};
+  net::Topology topo{sim};
+  net::NodeId a, r, b;
+  net::Network net{sim, topo, Duration::zero()};
+
+  FailWorld() {
+    a = topo.add_node("a", net::NodeRole::kAppServer);
+    r = topo.add_node("r", net::NodeRole::kRouter);
+    b = topo.add_node("b", net::NodeRole::kAppServer);
+    topo.add_link(a, r, ms(10));
+    topo.add_link(r, b, ms(10));
+  }
+};
+
+TEST(FailureTest, LinkDownBreaksRoute) {
+  FailWorld w;
+  EXPECT_TRUE(w.topo.reachable(w.a, w.b));
+  w.topo.set_link_state(w.r, w.b, false);
+  EXPECT_FALSE(w.topo.reachable(w.a, w.b));
+  EXPECT_TRUE(w.topo.reachable(w.a, w.r));
+  EXPECT_THROW((void)w.topo.path(w.a, w.b), net::NoRouteError);
+}
+
+TEST(FailureTest, LinkRecoveryRestoresRoute) {
+  FailWorld w;
+  w.topo.set_link_state(w.r, w.b, false);
+  w.topo.set_link_state(w.r, w.b, true);
+  EXPECT_TRUE(w.topo.reachable(w.a, w.b));
+  EXPECT_NEAR(w.topo.path_latency(w.a, w.b).as_millis(), 20.0, 0.01);
+}
+
+TEST(FailureTest, AlternatePathUsedWhenPrimaryDown) {
+  FailWorld w;
+  // Add a slower bypass a—b.
+  w.topo.add_link(w.a, w.b, ms(50));
+  EXPECT_NEAR(w.topo.path_latency(w.a, w.b).as_millis(), 20.0, 0.01);
+  w.topo.set_link_state(w.a, w.r, false);
+  EXPECT_NEAR(w.topo.path_latency(w.a, w.b).as_millis(), 50.0, 0.01);
+}
+
+TEST(FailureTest, NodeDownIsolatesIt) {
+  FailWorld w;
+  w.topo.set_node_state(w.r, false);
+  EXPECT_FALSE(w.topo.reachable(w.a, w.b));
+  EXPECT_FALSE(w.topo.reachable(w.a, w.r));
+  w.topo.set_node_state(w.r, true);
+  EXPECT_TRUE(w.topo.reachable(w.a, w.b));
+}
+
+TEST(FailureTest, SetStateOnMissingLinkThrows) {
+  FailWorld w;
+  EXPECT_THROW(w.topo.set_link_state(w.a, w.b, false), std::invalid_argument);
+}
+
+TEST(FailureTest, DeliverToPartitionedNodeThrows) {
+  FailWorld w;
+  w.topo.set_node_state(w.b, false);
+  bool threw = false;
+  w.sim.spawn([](FailWorld& w, bool& threw) -> Task<void> {
+    try {
+      co_await w.net.deliver(w.a, w.b, 100);
+    } catch (const net::NoRouteError&) {
+      threw = true;
+    }
+  }(w, threw));
+  w.sim.run_until();
+  EXPECT_TRUE(threw);
+}
+
+// --- JMS redelivery ---------------------------------------------------------------
+
+TEST(FailureTest, TopicRedeliversAfterPartitionHeals) {
+  FailWorld w;
+  msg::Topic<int> topic{w.net, w.a, "updates", Duration::zero()};
+  topic.set_retry_interval(ms(100));
+  int received = 0;
+  topic.subscribe(w.b, [&received](const int&) -> Task<void> {
+    ++received;
+    co_return;
+  });
+
+  w.topo.set_node_state(w.b, false);
+  w.sim.spawn([](msg::Topic<int>& t, FailWorld& w) -> Task<void> {
+    co_await t.publish(w.a, 1, 64);
+  }(topic, w));
+  w.sim.schedule_after(ms(450), [&] { w.topo.set_node_state(w.b, true); });
+  w.sim.run_until();
+
+  EXPECT_EQ(received, 1);
+  EXPECT_GE(topic.delivery_retries(), 3u);
+  EXPECT_TRUE(topic.quiescent());
+}
+
+// --- version-monotonic cache fills ---------------------------------------------------
+
+TEST(CacheRaceTest, StalePullCannotClobberNewerPush) {
+  cache::ReadOnlyCache c{"Item"};
+  c.apply_push(1, db::Row{std::int64_t{1}, std::int64_t{99}}, /*version=*/5);
+  // A pull refresh that started before the write commits arrives late with
+  // version 4: it must be rejected.
+  c.fill(1, db::Row{std::int64_t{1}, std::int64_t{11}}, /*version=*/4);
+  auto entry = c.get(1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(db::as_int(entry->row[1]), 99);
+  EXPECT_EQ(c.stale_fills_rejected(), 1u);
+}
+
+TEST(CacheRaceTest, QueryCacheFillIsVersionMonotonic) {
+  cache::QueryCache qc;
+  qc.apply_push("k", {db::Row{std::int64_t{2}}}, 7);
+  qc.fill("k", {db::Row{std::int64_t{1}}}, 3);
+  auto entry = qc.get("k");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->version, 7u);
+}
+
+// --- end-to-end failover --------------------------------------------------------------
+
+core::ExperimentSpec failover_spec(bool enabled) {
+  core::ExperimentSpec spec;
+  spec.level = core::ConfigLevel::kAsyncUpdates;
+  spec.duration = sec(600);
+  spec.warmup = sec(60);
+  spec.failover_enabled = enabled;
+  spec.failover_timeout = sec(2);
+  return spec;
+}
+
+TEST(FailoverTest, EdgeCrashFailsOverToMainWithoutLosingRequests) {
+  apps::rubis::RubisApp app;
+  core::Experiment exp{app.driver(), failover_spec(true), core::rubis_calibration()};
+  net::Topology& topo = exp.network().topology();
+  const net::NodeId edge = exp.nodes().edge_servers[0];
+  exp.simulator().schedule_at(sim::SimTime::origin() + sec(200),
+                              [&topo, edge] { topo.set_node_state(edge, false); });
+  exp.simulator().schedule_at(sim::SimTime::origin() + sec(400),
+                              [&topo, edge] { topo.set_node_state(edge, true); });
+  exp.run();
+
+  EXPECT_GT(exp.failovers(), 100u);       // the affected group kept being served
+  EXPECT_EQ(exp.dropped_requests(), 0u);  // nothing lost
+  // The failed-over requests pay the connect timeout + WAN path, so the
+  // remote mean sits well above the healthy async level but stays bounded.
+  const double remote = exp.results().pattern_mean_ms("Browser", stats::ClientGroup::kRemote);
+  EXPECT_GT(remote, 50.0);
+  EXPECT_LT(remote, 2000.0);
+}
+
+TEST(FailoverTest, WithoutFailoverRequestsAreDropped) {
+  apps::rubis::RubisApp app;
+  core::Experiment exp{app.driver(), failover_spec(false), core::rubis_calibration()};
+  net::Topology& topo = exp.network().topology();
+  const net::NodeId edge = exp.nodes().edge_servers[0];
+  exp.simulator().schedule_at(sim::SimTime::origin() + sec(200),
+                              [&topo, edge] { topo.set_node_state(edge, false); });
+  exp.run();
+  EXPECT_EQ(exp.failovers(), 0u);
+  EXPECT_GT(exp.dropped_requests(), 100u);
+}
+
+TEST(FailoverTest, HealthyRunNeverFailsOver) {
+  apps::rubis::RubisApp app;
+  core::ExperimentSpec spec = failover_spec(true);
+  spec.duration = sec(200);
+  core::Experiment exp{app.driver(), spec, core::rubis_calibration()};
+  exp.run();
+  EXPECT_EQ(exp.failovers(), 0u);
+  EXPECT_EQ(exp.dropped_requests(), 0u);
+}
+
+// --- staleness bound -------------------------------------------------------------------
+
+TEST(StalenessBoundTest, BoundZeroNeverStallsWriter) {
+  apps::rubis::RubisApp app;
+  core::ExperimentSpec spec = failover_spec(true);
+  spec.duration = sec(300);
+  core::Experiment exp{app.driver(), spec, core::rubis_calibration()};
+  exp.run();
+  EXPECT_EQ(exp.runtime().bounded_waits(), 0u);
+}
+
+TEST(StalenessBoundTest, DescriptorCarriesTheBound) {
+  // The §5 "relaxed consistency parameters should also go here" claim: the
+  // bound travels in the extended deployment descriptor (see
+  // descriptor_test.cpp for full round-trip coverage).
+  comp::DeploymentPlan plan;
+  plan.set_staleness_bound(3);
+  EXPECT_EQ(plan.staleness_bound(), 3u);
+}
+
+}  // namespace
+}  // namespace mutsvc

@@ -1,0 +1,147 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace mutsvc::sim {
+namespace {
+
+TEST(RngStreamTest, DeterministicForSameSeed) {
+  RngStream a{42};
+  RngStream b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(RngStreamTest, DifferentSeedsDiffer) {
+  RngStream a{1};
+  RngStream b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngStreamTest, ForkIsDeterministicAndIndependentOfDraws) {
+  RngStream a{7};
+  RngStream b{7};
+  (void)b.uniform01();  // draws must not affect forked child seeds
+  RngStream ca = a.fork("client");
+  RngStream cb = b.fork("client");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(ca.uniform01(), cb.uniform01());
+  }
+}
+
+TEST(RngStreamTest, ForkedStreamsWithDifferentNamesDiffer) {
+  RngStream root{7};
+  RngStream a = root.fork("alpha");
+  RngStream b = root.fork("beta");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngStreamTest, RootsWithDifferentSeedsForkDifferentChildren) {
+  RngStream a = RngStream{1}.fork("x");
+  RngStream b = RngStream{2}.fork("x");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngStreamTest, UniformIntRangeInclusive) {
+  RngStream r{3};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo = saw_lo || v == 2;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngStreamTest, UniformIntBadRangeThrows) {
+  RngStream r{3};
+  EXPECT_THROW((void)r.uniform_int(5, 2), std::invalid_argument);
+}
+
+TEST(RngStreamTest, ExponentialMean) {
+  RngStream r{11};
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(RngStreamTest, ExponentialDurationOverload) {
+  RngStream r{11};
+  Duration d = r.exponential(ms(100));
+  EXPECT_GE(d, Duration::zero());
+}
+
+TEST(RngStreamTest, ExponentialRejectsNonPositiveMean) {
+  RngStream r{1};
+  EXPECT_THROW((void)r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)r.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(RngStreamTest, WeightedIndexProportions) {
+  RngStream r{5};
+  std::array<double, 3> weights{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[r.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.6, 0.015);
+}
+
+TEST(RngStreamTest, WeightedIndexValidation) {
+  RngStream r{5};
+  std::vector<double> empty;
+  EXPECT_THROW((void)r.weighted_index(empty), std::invalid_argument);
+  std::array<double, 2> neg{1.0, -1.0};
+  EXPECT_THROW((void)r.weighted_index(neg), std::invalid_argument);
+  std::array<double, 2> zero{0.0, 0.0};
+  EXPECT_THROW((void)r.weighted_index(zero), std::invalid_argument);
+}
+
+TEST(RngStreamTest, BernoulliExtremes) {
+  RngStream r{9};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(RngStreamTest, PickCoversAllElements) {
+  RngStream r{13};
+  std::vector<int> items{10, 20, 30};
+  std::array<int, 3> seen{};
+  for (int i = 0; i < 300; ++i) {
+    int v = r.pick(items);
+    seen[static_cast<std::size_t>(v / 10 - 1)]++;
+  }
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(RngStreamTest, PickEmptyThrows) {
+  RngStream r{13};
+  std::vector<int> empty;
+  EXPECT_THROW((void)r.pick(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mutsvc::sim

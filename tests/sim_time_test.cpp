@@ -1,0 +1,61 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mutsvc::sim {
+namespace {
+
+TEST(DurationTest, FactoriesAndAccessors) {
+  EXPECT_EQ(us(250).count_micros(), 250);
+  EXPECT_EQ(ms(3).count_micros(), 3000);
+  EXPECT_EQ(sec(2).count_micros(), 2'000'000);
+  EXPECT_DOUBLE_EQ(ms(1.5).as_millis(), 1.5);
+  EXPECT_DOUBLE_EQ(sec(0.25).as_seconds(), 0.25);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ(ms(2) + ms(3), ms(5));
+  EXPECT_EQ(ms(5) - ms(3), ms(2));
+  EXPECT_EQ(ms(2) * 2.5, ms(5));
+  EXPECT_EQ(2.5 * ms(2), ms(5));
+  EXPECT_DOUBLE_EQ(ms(10) / ms(4), 2.5);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = ms(1);
+  d += ms(2);
+  EXPECT_EQ(d, ms(3));
+  d -= ms(1);
+  EXPECT_EQ(d, ms(2));
+}
+
+TEST(DurationTest, Ordering) {
+  EXPECT_LT(ms(1), ms(2));
+  EXPECT_GT(sec(1), ms(999));
+  EXPECT_EQ(Duration::zero(), us(0));
+  EXPECT_LT(Duration::zero(), Duration::max());
+}
+
+TEST(SimTimeTest, OriginAndAdvance) {
+  SimTime t = SimTime::origin();
+  EXPECT_EQ(t.count_micros(), 0);
+  SimTime t2 = t + ms(100);
+  EXPECT_EQ(t2.as_millis(), 100.0);
+  EXPECT_EQ(t2 - t, ms(100));
+  EXPECT_EQ(t2 - ms(100), t);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::origin(), SimTime::origin() + us(1));
+  EXPECT_LT(SimTime::origin() + sec(5), SimTime::max());
+}
+
+TEST(SimTimeTest, NegativeDurationArithmetic) {
+  SimTime a = SimTime::origin() + ms(10);
+  SimTime b = SimTime::origin() + ms(25);
+  EXPECT_EQ(a - b, ms(-15));
+  EXPECT_LT(a - b, Duration::zero());
+}
+
+}  // namespace
+}  // namespace mutsvc::sim

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/collector.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+
+namespace mutsvc::stats {
+namespace {
+
+using sim::ms;
+using sim::SimTime;
+
+TEST(SummaryTest, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(SummaryTest, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+}
+
+TEST(SummaryTest, PercentileThenAddStaysCorrect) {
+  Summary s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(9.0);  // must re-sort lazily after new sample
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(SummaryTest, MergeCombines) {
+  Summary a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+}
+
+TEST(SummaryTest, Ci95ShrinksWithSamples) {
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 3.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : 3.0);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(SummaryTest, ClearResets) {
+  Summary s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+}
+
+TEST(CollectorTest, WarmupSamplesDiscarded) {
+  ResponseTimeCollector c{sim::sec(60)};
+  c.record(SimTime::origin() + sim::sec(30), "Item", "Browser", ClientGroup::kLocal, ms(50));
+  c.record(SimTime::origin() + sim::sec(90), "Item", "Browser", ClientGroup::kLocal, ms(70));
+  EXPECT_EQ(c.discarded_samples(), 1u);
+  EXPECT_DOUBLE_EQ(c.page_mean_ms("Browser", "Item", ClientGroup::kLocal), 70.0);
+}
+
+TEST(CollectorTest, GroupsAreSeparate) {
+  ResponseTimeCollector c;
+  c.record(SimTime::origin(), "Item", "Browser", ClientGroup::kLocal, ms(50));
+  c.record(SimTime::origin(), "Item", "Browser", ClientGroup::kRemote, ms(450));
+  EXPECT_DOUBLE_EQ(c.page_mean_ms("Browser", "Item", ClientGroup::kLocal), 50.0);
+  EXPECT_DOUBLE_EQ(c.page_mean_ms("Browser", "Item", ClientGroup::kRemote), 450.0);
+}
+
+TEST(CollectorTest, PatternAggregationSpansPages) {
+  ResponseTimeCollector c;
+  c.record(SimTime::origin(), "Main", "Browser", ClientGroup::kLocal, ms(10));
+  c.record(SimTime::origin(), "Item", "Browser", ClientGroup::kLocal, ms(30));
+  EXPECT_DOUBLE_EQ(c.pattern_mean_ms("Browser", ClientGroup::kLocal), 20.0);
+}
+
+TEST(CollectorTest, MissingCellIsNegative) {
+  ResponseTimeCollector c;
+  EXPECT_DOUBLE_EQ(c.page_mean_ms("Browser", "Nope", ClientGroup::kLocal), -1.0);
+  EXPECT_EQ(c.page_summary("Browser", "Nope", ClientGroup::kLocal), nullptr);
+}
+
+TEST(CollectorTest, TotalSamplesCount) {
+  ResponseTimeCollector c;
+  for (int i = 0; i < 5; ++i) {
+    c.record(SimTime::origin(), "P", "Browser", ClientGroup::kLocal, ms(1));
+  }
+  EXPECT_EQ(c.total_samples(), 5u);
+}
+
+TEST(TimeSeriesTest, WindowsBucketByTime) {
+  TimeSeries ts{sim::sec(60)};
+  ts.add(SimTime::origin() + sim::sec(10), 100.0);
+  ts.add(SimTime::origin() + sim::sec(50), 200.0);
+  ts.add(SimTime::origin() + sim::sec(70), 300.0);
+  ts.add(SimTime::origin() + sim::sec(200), 400.0);
+  ASSERT_EQ(ts.window_count(), 4u);
+  EXPECT_DOUBLE_EQ(ts.window(0).mean(), 150.0);
+  EXPECT_DOUBLE_EQ(ts.window(1).mean(), 300.0);
+  EXPECT_TRUE(ts.window(2).empty());
+  EXPECT_DOUBLE_EQ(ts.window(3).mean(), 400.0);
+  EXPECT_EQ(ts.window_start(3), SimTime::origin() + sim::sec(180));
+}
+
+TEST(TimeSeriesTest, MeansAndCountsHandleEmptyWindows) {
+  TimeSeries ts{sim::sec(10)};
+  ts.add(SimTime::origin() + sim::sec(25), 5.0);
+  auto means = ts.window_means(-1.0);
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[0], -1.0);
+  EXPECT_DOUBLE_EQ(means[2], 5.0);
+  auto counts = ts.window_counts();
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(TimeSeriesTest, RejectsBadInput) {
+  EXPECT_THROW(TimeSeries{sim::Duration::zero()}, std::invalid_argument);
+  TimeSeries ts{sim::sec(1)};
+  EXPECT_THROW(ts.add(SimTime::origin() - sim::sec(1), 1.0), std::invalid_argument);
+}
+
+TEST(CollectorTest, TimeSeriesDisabledByDefaultEnabledOnDemand) {
+  ResponseTimeCollector c;
+  c.record(SimTime::origin(), "P", "Browser", ClientGroup::kRemote, ms(10));
+  EXPECT_EQ(c.timeseries(ClientGroup::kRemote), nullptr);
+
+  ResponseTimeCollector with_series;
+  with_series.enable_timeseries(sim::sec(60));
+  with_series.record(SimTime::origin() + sim::sec(30), "P", "Browser", ClientGroup::kRemote,
+                     ms(10));
+  with_series.record(SimTime::origin() + sim::sec(90), "P", "Browser", ClientGroup::kRemote,
+                     ms(30));
+  const TimeSeries* ts = with_series.timeseries(ClientGroup::kRemote);
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->window_count(), 2u);
+  EXPECT_DOUBLE_EQ(ts->window(1).mean(), 30.0);
+  EXPECT_EQ(with_series.timeseries(ClientGroup::kLocal), nullptr);
+}
+
+TEST(TextTableTest, CellFormatting) {
+  EXPECT_EQ(TextTable::cell_ms(87.4), "87");
+  EXPECT_EQ(TextTable::cell_ms(87.6), "88");
+  EXPECT_EQ(TextTable::cell_ms(-1.0), "-");
+  EXPECT_EQ(TextTable::cell_fixed(3.14159, 2), "3.14");
+}
+
+TEST(TextTableTest, PrintAlignsColumns) {
+  TextTable t{{"Page", "Local", "Remote"}};
+  t.add_row({"Main", "87", "488"});
+  t.add_row({"Category", "95", "492"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Page"), std::string::npos);
+  EXPECT_NE(out.find("Category | 95    | 492"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mutsvc::stats

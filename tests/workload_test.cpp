@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/simulator.hpp"
+#include "workload/loadgen.hpp"
+#include "workload/session.hpp"
+
+namespace mutsvc::workload {
+namespace {
+
+using sim::Duration;
+using sim::ms;
+using sim::sec;
+using sim::Simulator;
+using sim::Task;
+
+/// Fixed-latency executor that records request arrival times and pages.
+class FakeExecutor final : public RequestExecutor {
+ public:
+  FakeExecutor(Simulator& sim, Duration latency) : sim_(sim), latency_(latency) {}
+
+  Task<void> execute(net::NodeId, const PageRequest& req) override {
+    ++requests_;
+    pages_[req.page]++;
+    patterns_[req.pattern]++;
+    co_await sim_.wait(latency_);
+  }
+
+  std::uint64_t requests_ = 0;
+  std::map<std::string, int> pages_;
+  std::map<std::string, int> patterns_;
+
+ private:
+  Simulator& sim_;
+  Duration latency_;
+};
+
+/// Three-page fixed session.
+class FixedSession final : public SessionScript {
+ public:
+  explicit FixedSession(const char* pattern) : pattern_(pattern) {}
+  std::optional<PageRequest> next() override {
+    if (step_ >= 3) return std::nullopt;
+    PageRequest req;
+    req.page = "P" + std::to_string(step_++);
+    req.pattern = pattern_;
+    req.component = "Web";
+    req.method = "page";
+    return req;
+  }
+  const char* pattern() const override { return pattern_; }
+
+ private:
+  const char* pattern_;
+  int step_ = 0;
+};
+
+SessionFactory fixed_factory(const char* pattern) {
+  return [pattern] { return std::make_unique<FixedSession>(pattern); };
+}
+
+struct LoadWorld {
+  Simulator sim{5};
+  stats::ResponseTimeCollector collector;
+
+  ClientGroupSpec spec(double rate, double browser_fraction) {
+    ClientGroupSpec s;
+    s.client_node = net::NodeId{0};
+    s.group = stats::ClientGroup::kLocal;
+    s.requests_per_second = rate;
+    s.browser_fraction = browser_fraction;
+    s.browser_factory = fixed_factory("Browser");
+    s.writer_factory = fixed_factory("Writer");
+    return s;
+  }
+};
+
+TEST(LoadGeneratorTest, OfferedRateMatchesSpec) {
+  LoadWorld w;
+  FakeExecutor exec{w.sim, ms(20)};
+  LoadGenConfig cfg;
+  cfg.think_time = sec(5);
+  cfg.between_sessions = Duration::zero();
+  LoadGenerator gen{w.sim, exec, w.collector, cfg};
+  const double duration_s = 300.0;
+  gen.start_group(w.spec(10.0, 0.8), sim::SimTime::origin() + sec(duration_s),
+                  w.sim.rng().fork("g"));
+  w.sim.run_until();
+  const double achieved = static_cast<double>(exec.requests_) / duration_s;
+  EXPECT_NEAR(achieved, 10.0, 1.0);
+}
+
+TEST(LoadGeneratorTest, BrowserWriterMixRespected) {
+  LoadWorld w;
+  FakeExecutor exec{w.sim, ms(10)};
+  LoadGenConfig cfg;
+  cfg.think_time = sec(5);
+  LoadGenerator gen{w.sim, exec, w.collector, cfg};
+  gen.start_group(w.spec(20.0, 0.8), sim::SimTime::origin() + sec(200), w.sim.rng().fork("g"));
+  w.sim.run_until();
+  const double total = exec.patterns_["Browser"] + exec.patterns_["Writer"];
+  EXPECT_NEAR(exec.patterns_["Browser"] / total, 0.8, 0.05);
+}
+
+TEST(LoadGeneratorTest, SoftDelayKeepsRateUnderSlowResponses) {
+  // §3.3: "effectively DELAY becomes the time interval between sending
+  // requests, which allowed us to simulate steady client load independent
+  // of response times". A 2s response with a 5s DELAY must not reduce the
+  // offered rate.
+  LoadWorld w;
+  FakeExecutor slow{w.sim, sec(2)};
+  LoadGenConfig cfg;
+  cfg.think_time = sec(5);
+  cfg.between_sessions = Duration::zero();
+  LoadGenerator gen{w.sim, slow, w.collector, cfg};
+  gen.start_group(w.spec(10.0, 1.0), sim::SimTime::origin() + sec(300), w.sim.rng().fork("g"));
+  w.sim.run_until();
+  EXPECT_NEAR(static_cast<double>(slow.requests_) / 300.0, 10.0, 1.2);
+}
+
+TEST(LoadGeneratorTest, ResponsesRecordedWithPatternAndGroup) {
+  LoadWorld w;
+  FakeExecutor exec{w.sim, ms(30)};
+  LoadGenerator gen{w.sim, exec, w.collector, {}};
+  gen.start_group(w.spec(5.0, 1.0), sim::SimTime::origin() + sec(60), w.sim.rng().fork("g"));
+  w.sim.run_until();
+  EXPECT_GT(w.collector.total_samples(), 0u);
+  EXPECT_NEAR(w.collector.page_mean_ms("Browser", "P0", stats::ClientGroup::kLocal), 30.0, 0.5);
+  EXPECT_NEAR(w.collector.pattern_mean_ms("Browser", stats::ClientGroup::kLocal), 30.0, 0.5);
+}
+
+TEST(LoadGeneratorTest, ClientsStopAtEndTime) {
+  LoadWorld w;
+  FakeExecutor exec{w.sim, ms(1)};
+  LoadGenerator gen{w.sim, exec, w.collector, {}};
+  gen.start_group(w.spec(10.0, 0.8), sim::SimTime::origin() + sec(30), w.sim.rng().fork("g"));
+  w.sim.run_until();
+  // All clients eventually stop: simulation drains with no runaway events.
+  EXPECT_TRUE(w.sim.idle());
+  EXPECT_LT(w.sim.now().as_seconds(), 60.0);
+}
+
+TEST(LoadGeneratorTest, SessionsRestartAfterCompletion) {
+  LoadWorld w;
+  FakeExecutor exec{w.sim, ms(1)};
+  LoadGenConfig cfg;
+  cfg.think_time = sec(2);
+  cfg.between_sessions = sec(1);
+  LoadGenerator gen{w.sim, exec, w.collector, cfg};
+  gen.start_group(w.spec(2.0, 1.0), sim::SimTime::origin() + sec(120), w.sim.rng().fork("g"));
+  w.sim.run_until();
+  // 4 clients x (~1 session per 7s) over 120s => tens of sessions.
+  EXPECT_GT(gen.sessions_started(), 30u);
+  EXPECT_EQ(gen.requests_issued(), exec.requests_);
+}
+
+/// Property sweep: the offered rate tracks the spec across a range of
+/// rates and think times (parameterized, §3.3 soft-delay invariant).
+class LoadRateSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LoadRateSweep, AchievedRateTracksSpec) {
+  const auto [rate, think_s] = GetParam();
+  LoadWorld w;
+  FakeExecutor exec{w.sim, ms(25)};
+  LoadGenConfig cfg;
+  cfg.think_time = sim::Duration::seconds(think_s);
+  cfg.between_sessions = Duration::zero();
+  LoadGenerator gen{w.sim, exec, w.collector, cfg};
+  gen.start_group(w.spec(rate, 0.8), sim::SimTime::origin() + sec(400), w.sim.rng().fork("g"));
+  w.sim.run_until();
+  const double achieved = static_cast<double>(exec.requests_) / 400.0;
+  EXPECT_NEAR(achieved, rate, rate * 0.15 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LoadRateSweep,
+                         ::testing::Values(std::make_tuple(2.0, 4.0),
+                                           std::make_tuple(5.0, 7.0),
+                                           std::make_tuple(10.0, 7.0),
+                                           std::make_tuple(20.0, 5.0),
+                                           std::make_tuple(30.0, 10.0)));
+
+}  // namespace
+}  // namespace mutsvc::workload
