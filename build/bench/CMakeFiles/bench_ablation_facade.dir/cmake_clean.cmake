@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_facade.dir/bench_ablation_facade.cpp.o"
+  "CMakeFiles/bench_ablation_facade.dir/bench_ablation_facade.cpp.o.d"
+  "bench_ablation_facade"
+  "bench_ablation_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

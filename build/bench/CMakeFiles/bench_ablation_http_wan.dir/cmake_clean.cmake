@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_http_wan.dir/bench_ablation_http_wan.cpp.o"
+  "CMakeFiles/bench_ablation_http_wan.dir/bench_ablation_http_wan.cpp.o.d"
+  "bench_ablation_http_wan"
+  "bench_ablation_http_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_http_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8_rubis_sessions.dir/bench_figure8_rubis_sessions.cpp.o"
+  "CMakeFiles/bench_figure8_rubis_sessions.dir/bench_figure8_rubis_sessions.cpp.o.d"
+  "bench_figure8_rubis_sessions"
+  "bench_figure8_rubis_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_rubis_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gridviz.dir/bench_gridviz.cpp.o"
+  "CMakeFiles/bench_gridviz.dir/bench_gridviz.cpp.o.d"
+  "bench_gridviz"
+  "bench_gridviz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gridviz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

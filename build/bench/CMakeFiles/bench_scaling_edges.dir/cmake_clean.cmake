@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_edges.dir/bench_scaling_edges.cpp.o"
+  "CMakeFiles/bench_scaling_edges.dir/bench_scaling_edges.cpp.o.d"
+  "bench_scaling_edges"
+  "bench_scaling_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_latency.dir/bench_sensitivity_latency.cpp.o"
+  "CMakeFiles/bench_sensitivity_latency.dir/bench_sensitivity_latency.cpp.o.d"
+  "bench_sensitivity_latency"
+  "bench_sensitivity_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

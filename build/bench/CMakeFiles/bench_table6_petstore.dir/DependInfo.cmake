@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_petstore.cpp" "bench/CMakeFiles/bench_table6_petstore.dir/bench_table6_petstore.cpp.o" "gcc" "bench/CMakeFiles/bench_table6_petstore.dir/bench_table6_petstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mutsvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mutsvc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/mutsvc_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mutsvc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mutsvc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mutsvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mutsvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_petstore.dir/bench_table6_petstore.cpp.o"
+  "CMakeFiles/bench_table6_petstore.dir/bench_table6_petstore.cpp.o.d"
+  "bench_table6_petstore"
+  "bench_table6_petstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_petstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_rubis.dir/bench_table7_rubis.cpp.o"
+  "CMakeFiles/bench_table7_rubis.dir/bench_table7_rubis.cpp.o.d"
+  "bench_table7_rubis"
+  "bench_table7_rubis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_rubis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

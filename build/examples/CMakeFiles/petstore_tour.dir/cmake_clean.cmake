@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petstore_tour.dir/petstore_tour.cpp.o"
+  "CMakeFiles/petstore_tour.dir/petstore_tour.cpp.o.d"
+  "petstore_tour"
+  "petstore_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petstore_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubis_usage_patterns.dir/rubis_usage_patterns.cpp.o"
+  "CMakeFiles/rubis_usage_patterns.dir/rubis_usage_patterns.cpp.o.d"
+  "rubis_usage_patterns"
+  "rubis_usage_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubis_usage_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutsvc_apps.dir/gridviz/gridviz.cpp.o"
+  "CMakeFiles/mutsvc_apps.dir/gridviz/gridviz.cpp.o.d"
+  "CMakeFiles/mutsvc_apps.dir/petstore/petstore.cpp.o"
+  "CMakeFiles/mutsvc_apps.dir/petstore/petstore.cpp.o.d"
+  "CMakeFiles/mutsvc_apps.dir/rubis/rubis.cpp.o"
+  "CMakeFiles/mutsvc_apps.dir/rubis/rubis.cpp.o.d"
+  "libmutsvc_apps.a"
+  "libmutsvc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutsvc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmutsvc_apps.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutsvc_component.dir/deployment.cpp.o"
+  "CMakeFiles/mutsvc_component.dir/deployment.cpp.o.d"
+  "CMakeFiles/mutsvc_component.dir/descriptor.cpp.o"
+  "CMakeFiles/mutsvc_component.dir/descriptor.cpp.o.d"
+  "CMakeFiles/mutsvc_component.dir/runtime.cpp.o"
+  "CMakeFiles/mutsvc_component.dir/runtime.cpp.o.d"
+  "libmutsvc_component.a"
+  "libmutsvc_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutsvc_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

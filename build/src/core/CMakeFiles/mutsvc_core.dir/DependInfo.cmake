@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/design_rules.cpp" "src/core/CMakeFiles/mutsvc_core.dir/design_rules.cpp.o" "gcc" "src/core/CMakeFiles/mutsvc_core.dir/design_rules.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/mutsvc_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/mutsvc_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/placement/advisor.cpp" "src/core/CMakeFiles/mutsvc_core.dir/placement/advisor.cpp.o" "gcc" "src/core/CMakeFiles/mutsvc_core.dir/placement/advisor.cpp.o.d"
+  "/root/repo/src/core/placement/algorithms.cpp" "src/core/CMakeFiles/mutsvc_core.dir/placement/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/mutsvc_core.dir/placement/algorithms.cpp.o.d"
+  "/root/repo/src/core/placement/graph.cpp" "src/core/CMakeFiles/mutsvc_core.dir/placement/graph.cpp.o" "gcc" "src/core/CMakeFiles/mutsvc_core.dir/placement/graph.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/mutsvc_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/mutsvc_core.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/component/CMakeFiles/mutsvc_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mutsvc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mutsvc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mutsvc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mutsvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mutsvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

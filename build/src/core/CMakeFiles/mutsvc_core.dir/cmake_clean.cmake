@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutsvc_core.dir/design_rules.cpp.o"
+  "CMakeFiles/mutsvc_core.dir/design_rules.cpp.o.d"
+  "CMakeFiles/mutsvc_core.dir/experiment.cpp.o"
+  "CMakeFiles/mutsvc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/mutsvc_core.dir/placement/advisor.cpp.o"
+  "CMakeFiles/mutsvc_core.dir/placement/advisor.cpp.o.d"
+  "CMakeFiles/mutsvc_core.dir/placement/algorithms.cpp.o"
+  "CMakeFiles/mutsvc_core.dir/placement/algorithms.cpp.o.d"
+  "CMakeFiles/mutsvc_core.dir/placement/graph.cpp.o"
+  "CMakeFiles/mutsvc_core.dir/placement/graph.cpp.o.d"
+  "CMakeFiles/mutsvc_core.dir/testbed.cpp.o"
+  "CMakeFiles/mutsvc_core.dir/testbed.cpp.o.d"
+  "libmutsvc_core.a"
+  "libmutsvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutsvc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

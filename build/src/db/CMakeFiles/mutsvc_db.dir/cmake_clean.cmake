@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutsvc_db.dir/database.cpp.o"
+  "CMakeFiles/mutsvc_db.dir/database.cpp.o.d"
+  "CMakeFiles/mutsvc_db.dir/jdbc.cpp.o"
+  "CMakeFiles/mutsvc_db.dir/jdbc.cpp.o.d"
+  "CMakeFiles/mutsvc_db.dir/table.cpp.o"
+  "CMakeFiles/mutsvc_db.dir/table.cpp.o.d"
+  "libmutsvc_db.a"
+  "libmutsvc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutsvc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

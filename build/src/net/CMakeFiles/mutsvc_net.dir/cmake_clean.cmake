@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutsvc_net.dir/http.cpp.o"
+  "CMakeFiles/mutsvc_net.dir/http.cpp.o.d"
+  "CMakeFiles/mutsvc_net.dir/network.cpp.o"
+  "CMakeFiles/mutsvc_net.dir/network.cpp.o.d"
+  "CMakeFiles/mutsvc_net.dir/rmi.cpp.o"
+  "CMakeFiles/mutsvc_net.dir/rmi.cpp.o.d"
+  "CMakeFiles/mutsvc_net.dir/topology.cpp.o"
+  "CMakeFiles/mutsvc_net.dir/topology.cpp.o.d"
+  "libmutsvc_net.a"
+  "libmutsvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutsvc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutsvc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mutsvc_sim.dir/simulator.cpp.o.d"
+  "libmutsvc_sim.a"
+  "libmutsvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutsvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/loadgen.cpp" "src/workload/CMakeFiles/mutsvc_workload.dir/loadgen.cpp.o" "gcc" "src/workload/CMakeFiles/mutsvc_workload.dir/loadgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mutsvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mutsvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mutsvc_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

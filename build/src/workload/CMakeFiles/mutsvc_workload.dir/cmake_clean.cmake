@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutsvc_workload.dir/loadgen.cpp.o"
+  "CMakeFiles/mutsvc_workload.dir/loadgen.cpp.o.d"
+  "libmutsvc_workload.a"
+  "libmutsvc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutsvc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_gridviz_test.dir/apps_gridviz_test.cpp.o"
+  "CMakeFiles/apps_gridviz_test.dir/apps_gridviz_test.cpp.o.d"
+  "apps_gridviz_test"
+  "apps_gridviz_test.pdb"
+  "apps_gridviz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_gridviz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

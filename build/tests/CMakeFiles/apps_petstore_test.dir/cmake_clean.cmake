@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_petstore_test.dir/apps_petstore_test.cpp.o"
+  "CMakeFiles/apps_petstore_test.dir/apps_petstore_test.cpp.o.d"
+  "apps_petstore_test"
+  "apps_petstore_test.pdb"
+  "apps_petstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_petstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

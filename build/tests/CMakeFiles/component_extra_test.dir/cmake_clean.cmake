@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_extra_test.dir/component_extra_test.cpp.o"
+  "CMakeFiles/component_extra_test.dir/component_extra_test.cpp.o.d"
+  "component_extra_test"
+  "component_extra_test.pdb"
+  "component_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

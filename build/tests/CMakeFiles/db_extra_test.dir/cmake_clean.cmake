@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_extra_test.dir/db_extra_test.cpp.o"
+  "CMakeFiles/db_extra_test.dir/db_extra_test.cpp.o.d"
+  "db_extra_test"
+  "db_extra_test.pdb"
+  "db_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutsvc_run.dir/mutsvc_run.cpp.o"
+  "CMakeFiles/mutsvc_run.dir/mutsvc_run.cpp.o.d"
+  "mutsvc_run"
+  "mutsvc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutsvc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
