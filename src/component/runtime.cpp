@@ -89,6 +89,9 @@ Runtime::Runtime(sim::Simulator& sim, net::Topology& topo, net::Network& net,
   net::RmiConfig push_cfg = rmi.config();
   push_cfg.extra_rtt_prob = 0.0;
   update_rmi_ = std::make_unique<net::RmiTransport>(net_, push_cfg);
+  // The updater façade runs under the same resilience policy as the
+  // application transport (its breakers are independent per transport).
+  update_rmi_->set_resilience(rmi.resilience());
   if (plan_.has(Feature::kAsyncUpdates)) {
     topic_ = std::make_unique<msg::Topic<cache::UpdateBatch>>(
         net_, plan_.main_server(), "updates", cfg_.mdb_dispatch);
@@ -123,6 +126,61 @@ cache::QueryCache& Runtime::query_cache(net::NodeId node) {
     it = query_caches_.emplace(node, std::make_unique<cache::QueryCache>()).first;
   }
   return *it->second;
+}
+
+void Runtime::clear_node_caches(net::NodeId node) {
+  ++cache_rewarms_;
+  for (auto& [key, cache] : ro_caches_) {
+    if (key.first == node) cache->invalidate_all();
+  }
+  auto qit = query_caches_.find(node);
+  if (qit != query_caches_.end()) qit->second->clear();
+  // The restarted container also lost its JNDI/remote-stub caches; the
+  // StubCache is keyed per (node, component) but has no per-node erase, and
+  // stub re-acquisition is cheap — clearing it all models the cold start.
+  stubs_.clear();
+}
+
+bool Runtime::within_staleness_bound(const std::string& vkey, std::uint64_t version) {
+  const std::uint32_t bound = plan_.staleness_bound();
+  if (bound == 0) return true;  // degraded mode accepts any age
+  return consistency_.master_version(vkey) - version <= bound;
+}
+
+msg::Topic<Runtime::QueuedWrite>& Runtime::write_queue(net::NodeId edge) {
+  auto it = write_queues_.find(edge);
+  if (it == write_queues_.end()) {
+    // Provider co-located with the edge: accepting a queued write is a
+    // local, durable operation; the provider then drains to the master
+    // with the topic's at-least-once redelivery.
+    auto topic = std::make_unique<msg::Topic<QueuedWrite>>(
+        net_, edge, "queued-writes:" + topo_.node(edge).name, cfg_.mdb_dispatch);
+    topic->set_retry_interval(sim::sec(1));
+    topic->subscribe(plan_.main_server(),
+                     [this](const QueuedWrite& w) { return apply_queued_write(w); });
+    it = write_queues_.emplace(edge, std::move(topic)).first;
+  }
+  return *it->second;
+}
+
+sim::Task<void> Runtime::apply_queued_write(QueuedWrite w) {
+  // The message reached the master; apply it as a standalone transaction.
+  // Residual failures (message loss on the JDBC hop, a push racing a new
+  // partition) are retried here with backoff so the queue still converges.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool ok = false;
+    try {
+      co_await write_impl(nullptr, plan_.main_server(), w.entity, w.write, w.affected);
+      ok = true;
+    } catch (const net::NetError&) {
+    }
+    if (ok) {
+      ++queued_writes_applied_;
+      co_return;
+    }
+    co_await sim_.wait(sim::ms(250.0 * static_cast<double>(1 << std::min(attempt, 4))));
+  }
+  ++queued_writes_dropped_;
 }
 
 db::JdbcClient& Runtime::jdbc_for(net::NodeId node) {
@@ -236,6 +294,23 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
     cache::ReadOnlyCache& cache = ro_cache(node, entity);
     co_await topo_.node(node).cpu->consume(cfg_.cache_access);
     if (trace) trace->add(SpanKind::kCacheRead, cfg_.cache_access);
+    // Degraded reads may need the raw entry even when the TTL has expired —
+    // snapshot it before get_if_fresh erases a TTL-expired entry.
+    const bool may_degrade =
+        degraded_mode() && rmi_.resilience().degraded_reads && node != primary;
+    std::optional<cache::ReadOnlyCache::Entry> raw;
+    if (may_degrade) raw = cache.get(pk);
+    auto serve_stale = [&]() -> bool {
+      return raw.has_value() && within_staleness_bound(vkey, raw->version);
+    };
+    // Graceful degradation, fast path: the breaker to the master is open, so
+    // a refresh RMI is doomed — serve the stale replica entry (ignoring the
+    // TTL) when the TACT staleness bound admits it.
+    if (may_degrade && rmi_.fast_fail(primary) && serve_stale()) {
+      ++degraded_reads_;
+      consistency_.observe_read(vkey, raw->version);
+      co_return raw->row;
+    }
     if (auto entry = cache.get_if_fresh(pk, sim_.now(), cfg_.ro_ttl)) {
       consistency_.observe_read(vkey, entry->version);
       co_return entry->row;
@@ -247,15 +322,31 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
     std::uint64_t version = 0;
     const sim::SimTime t0 = sim_.now();
     sim::Duration server_work = sim::Duration::zero();
-    co_await rmi_.call_dynamic(node, primary, 64, [&]() -> sim::Task<net::Bytes> {
-      const sim::SimTime w0 = sim_.now();
-      co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
-      db::QueryResult res = co_await jdbc_for(primary).execute(db::Query::pk_lookup(table, pk));
-      if (!res.rows.empty()) fetched = std::move(res.rows[0]);
-      version = consistency_.master_version(vkey);
-      server_work = sim_.now() - w0;
-      co_return res.wire_bytes();
-    });
+    bool refreshed = false;
+    try {
+      co_await rmi_.call_dynamic(node, primary, 64, [&]() -> sim::Task<net::Bytes> {
+        const sim::SimTime w0 = sim_.now();
+        co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
+        db::QueryResult res = co_await jdbc_for(primary).execute(db::Query::pk_lookup(table, pk));
+        if (!res.rows.empty()) fetched = std::move(res.rows[0]);
+        version = consistency_.master_version(vkey);
+        server_work = sim_.now() - w0;
+        co_return res.wire_bytes();
+      });
+      refreshed = true;
+    } catch (const net::NetError&) {
+      if (!may_degrade) throw;
+    }
+    if (!refreshed) {
+      // Refresh failed mid-outage: fall back to the stale replica.
+      if (serve_stale()) {
+        ++degraded_reads_;
+        consistency_.observe_read(vkey, raw->version);
+        co_return raw->row;
+      }
+      throw net::DeliveryError("Runtime: read of " + vkey +
+                               " failed with no usable replica entry");
+    }
     if (trace) {
       trace->add(SpanKind::kJdbc, server_work);
       trace->add(SpanKind::kRmiWire, (sim_.now() - t0) - server_work);
@@ -348,14 +439,36 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
                                     std::vector<db::Query> affected_queries) {
   const net::NodeId primary = plan_.main_server();
   if (node != primary) {
+    const net::Bytes wire = 96 + values_bytes(write.row);
+    const bool may_queue = degraded_mode() && rmi_.resilience().queue_writes;
+    // Graceful degradation, fast path: master unreachable (breaker open) —
+    // accept the write locally and queue it for redelivery.
+    if (may_queue && rmi_.fast_fail(primary)) {
+      ++queued_writes_;
+      // GCC 12 miscompiles braced temporaries inside co_await expressions
+      // (bitwise frame spill) — build a named local instead.
+      QueuedWrite queued{entity, write, affected_queries};
+      co_await write_queue(node).publish(node, std::move(queued), wire);
+      co_return;
+    }
     // Route through the façade co-located with the data source. The remote
-    // side commits as its own transaction.
-    co_await rmi_.call_dynamic(node, primary, 96 + values_bytes(write.row),
-                               [&]() -> sim::Task<net::Bytes> {
-                                 co_await write_impl(nullptr, primary, entity, std::move(write),
-                                                     std::move(affected_queries));
-                                 co_return 32;
-                               });
+    // side commits as its own transaction. (The façade body copies its
+    // inputs: a failed attempt must leave them intact for the queue path.)
+    bool ok = false;
+    try {
+      co_await rmi_.call_dynamic(node, primary, wire, [&]() -> sim::Task<net::Bytes> {
+        co_await write_impl(nullptr, primary, entity, write, affected_queries);
+        co_return 32;
+      });
+      ok = true;
+    } catch (const net::NetError&) {
+      if (!may_queue) throw;
+    }
+    if (!ok) {
+      ++queued_writes_;
+      QueuedWrite queued{std::move(entity), std::move(write), std::move(affected_queries)};
+      co_await write_queue(node).publish(node, std::move(queued), wire);
+    }
     co_return;
   }
 
@@ -527,10 +640,11 @@ sim::Task<void> Runtime::push_blocking(cache::UpdateBatch batch, TraceSink* trac
         co_await apply_batch(edge, batch);
         co_return 16;  // ack
       });
-    } catch (const net::NoRouteError&) {
-      // Partitioned edge: the transaction proceeds; the replica will serve
-      // stale data until reachability returns (counted by the
-      // ConsistencyTracker — availability over freshness during failures).
+    } catch (const net::NetError&) {
+      // Partitioned or lossy edge (retries exhausted): the transaction
+      // proceeds; the replica will serve stale data until reachability
+      // returns (counted by the ConsistencyTracker — availability over
+      // freshness during failures).
       ++failed_pushes_;
     }
   }

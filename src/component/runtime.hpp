@@ -206,6 +206,11 @@ class Runtime {
   [[nodiscard]] cache::QueryCache& query_cache(net::NodeId node);
   [[nodiscard]] db::JdbcClient& jdbc_for(net::NodeId node);
 
+  /// Crash-restart hook: a restarted server loses its in-memory replica
+  /// state and must re-warm. Drops every ReadOnlyCache entry, the
+  /// QueryCache, and the cached remote stubs held at `node`.
+  void clear_node_caches(net::NodeId node);
+
   /// The read-write master's binding to its table, via the Application.
   void bind_entity(const std::string& entity, std::string table) {
     entity_tables_[entity] = std::move(table);
@@ -232,13 +237,47 @@ class Runtime {
   [[nodiscard]] std::uint64_t bounded_waits() const { return bounded_waits_; }
   [[nodiscard]] msg::Topic<cache::UpdateBatch>* update_topic() { return topic_.get(); }
 
+  // --- graceful degradation accounting ------------------------------------
+  [[nodiscard]] std::uint64_t degraded_reads() const { return degraded_reads_; }
+  [[nodiscard]] std::uint64_t queued_writes() const { return queued_writes_; }
+  [[nodiscard]] std::uint64_t queued_writes_applied() const { return queued_writes_applied_; }
+  [[nodiscard]] std::uint64_t queued_writes_dropped() const { return queued_writes_dropped_; }
+  [[nodiscard]] std::uint64_t cache_rewarms() const { return cache_rewarms_; }
+
   /// True when all asynchronously published updates have been applied.
   [[nodiscard]] bool updates_quiescent() const {
     return topic_ == nullptr || topic_->quiescent();
   }
 
+  /// True when every queued degraded-mode write has been applied (or
+  /// dropped after exhausting redelivery).
+  [[nodiscard]] bool write_queues_quiescent() const {
+    return queued_writes_ == queued_writes_applied_ + queued_writes_dropped_;
+  }
+
  private:
   friend class CallContext;
+
+  /// A façade write accepted at an edge while the master was unreachable,
+  /// queued through a local JMS topic for redelivery (graceful degradation).
+  struct QueuedWrite {
+    std::string entity;
+    db::Query write;
+    std::vector<db::Query> affected;
+  };
+
+  /// True when the middleware-level degradation policy is active.
+  [[nodiscard]] bool degraded_mode() const { return rmi_.resilience().enabled; }
+
+  /// Bounded staleness check for degraded reads: the entry at `version` may
+  /// be served when it lags the master by at most the plan's TACT staleness
+  /// bound (0 = unbounded during degradation).
+  [[nodiscard]] bool within_staleness_bound(const std::string& vkey, std::uint64_t version);
+
+  /// Per-edge store-and-forward write queue (provider co-located with the
+  /// edge, subscriber at the master).
+  [[nodiscard]] msg::Topic<QueuedWrite>& write_queue(net::NodeId edge);
+  [[nodiscard]] sim::Task<void> apply_queued_write(QueuedWrite w);
 
   // NOTE: coroutine — all parameters by value. A const-ref parameter would
   // dangle when the lazy task outlives the caller's temporaries (e.g. a
@@ -332,12 +371,18 @@ class Runtime {
   std::map<net::NodeId, std::unique_ptr<cache::QueryCache>> query_caches_;
   std::map<net::NodeId, std::unique_ptr<db::JdbcClient>> jdbc_clients_;
   std::unique_ptr<msg::Topic<cache::UpdateBatch>> topic_;
+  std::map<net::NodeId, std::unique_ptr<msg::Topic<QueuedWrite>>> write_queues_;
   InteractionProfile profile_;
 
   std::uint64_t blocking_pushes_ = 0;
   std::uint64_t failed_pushes_ = 0;
   std::uint64_t async_publishes_ = 0;
   std::uint64_t bounded_waits_ = 0;
+  std::uint64_t degraded_reads_ = 0;
+  std::uint64_t queued_writes_ = 0;
+  std::uint64_t queued_writes_applied_ = 0;
+  std::uint64_t queued_writes_dropped_ = 0;
+  std::uint64_t cache_rewarms_ = 0;
 };
 
 }  // namespace mutsvc::comp

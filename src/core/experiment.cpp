@@ -24,12 +24,22 @@ Experiment::Experiment(const apps::AppDriver& driver, ExperimentSpec spec,
       collector_(spec.warmup) {
   db_ = std::make_unique<db::Database>(topo_, nodes_.db_node, cal_.db_cost);
   driver_.install_database(*db_);
+  // Install the policy before the runtime copies the transport config for
+  // its dedicated update transport.
+  rmi_.set_resilience(spec_.resilience);
   comp::DeploymentPlan plan = spec_.custom_plan
                                   ? spec_.custom_plan(nodes_)
                                   : build_plan(*driver_.app, *driver_.meta, nodes_, spec_.level);
   runtime_ = std::make_unique<comp::Runtime>(sim_, topo_, net_, rmi_, *db_, *driver_.app,
                                              std::move(plan), cal_.runtime);
   driver_.bind_entities(*runtime_);
+  if (!spec_.fault_plan.empty()) {
+    faults_ = std::make_unique<net::FaultInjector>(sim_, topo_, spec_.fault_plan);
+    faults_->set_restart_listener(
+        [this](net::NodeId n) { runtime_->clear_node_caches(n); });
+    net_.set_fault_injector(faults_.get());
+    faults_->arm();
+  }
 }
 
 sim::FifoResource& Experiment::thread_pool(net::NodeId server) {
@@ -44,30 +54,47 @@ sim::FifoResource& Experiment::thread_pool(net::NodeId server) {
   return *it->second;
 }
 
-sim::Task<void> Experiment::execute(net::NodeId client_node,
+sim::Task<bool> Experiment::execute(net::NodeId client_node,
                                     const workload::PageRequest& request) {
-  const net::NodeId server = runtime_->plan().entry_point(client_node);
-  bool unreachable = false;
-  try {
-    co_await execute_at(client_node, server, request);
-  } catch (const net::NoRouteError&) {
-    unreachable = true;  // co_await is illegal in a catch block
-  }
-  if (!unreachable) co_return;
-  // Connection attempt to a dead/partitioned server: the client notices
-  // after a connect timeout.
-  co_await sim_.wait(spec_.failover_timeout);
-  if (!spec_.failover_enabled || server == nodes_.main_server) {
-    ++dropped_;
-    co_return;
-  }
-  // §1: "client requests can utilize several entry points into the
-  // service" — fall back to the main server.
-  ++failovers_;
-  try {
-    co_await execute_at(client_node, nodes_.main_server, request);
-  } catch (const net::NoRouteError&) {
-    ++dropped_;
+  net::NodeId server = runtime_->plan().entry_point(client_node);
+  const int max_page_retries = spec_.resilience.enabled ? spec_.resilience.http_retries : 0;
+  for (int attempt = 0;;) {
+    enum class Outcome { kOk, kUnreachable, kFailed };
+    Outcome out = Outcome::kOk;
+    try {
+      co_await execute_at(client_node, server, request);
+    } catch (const net::NoRouteError&) {
+      out = Outcome::kUnreachable;  // co_await is illegal in a catch block
+    } catch (const net::NetError&) {
+      out = Outcome::kFailed;  // lost messages / open breaker: transient
+    }
+    if (out == Outcome::kOk) co_return true;
+
+    if (out == Outcome::kUnreachable) {
+      // Connection attempt to a dead/partitioned server: the client notices
+      // after a connect timeout.
+      co_await sim_.wait(spec_.failover_timeout);
+      if (!spec_.failover_enabled || server == nodes_.main_server) {
+        ++dropped_;
+        co_return false;
+      }
+      // §1: "client requests can utilize several entry points into the
+      // service" — fall back to the main server. Switching entry points does
+      // not consume the retry budget, so transient faults on the fallback
+      // path still get the policy's whole-page retries.
+      ++failovers_;
+      server = nodes_.main_server;
+      continue;
+    }
+
+    // Transient failure: the browser retries the whole page (when the
+    // resilience policy allows) after a short pause.
+    if (attempt >= max_page_retries) {
+      ++dropped_;
+      co_return false;
+    }
+    ++attempt;
+    co_await sim_.wait(sim::ms(200 * attempt));
   }
 }
 

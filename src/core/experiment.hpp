@@ -10,8 +10,10 @@
 #include "core/design_rules.hpp"
 #include "core/testbed.hpp"
 #include "db/database.hpp"
+#include "net/faults.hpp"
 #include "net/http.hpp"
 #include "net/network.hpp"
+#include "net/resilience.hpp"
 #include "net/rmi.hpp"
 #include "net/topology.hpp"
 #include "sim/resource.hpp"
@@ -44,6 +46,12 @@ struct ExperimentSpec {
   /// unreachable requests are then dropped after the timeout.
   sim::Duration failover_timeout = sim::sec(2);
   bool failover_enabled = true;
+
+  /// Injected faults for this run (empty = fault-free, the default).
+  net::FaultPlan fault_plan;
+  /// Middleware resilience policy: RMI retry/timeout/circuit-breaker plus
+  /// client-side whole-page retries. Disabled by default (seed behavior).
+  net::ResilienceConfig resilience;
 };
 
 /// One full testbed run: Figure 2 topology + application + configuration
@@ -65,6 +73,9 @@ class Experiment final : public workload::RequestExecutor {
   [[nodiscard]] comp::Runtime& runtime() { return *runtime_; }
   [[nodiscard]] const TestbedNodes& nodes() const { return nodes_; }
   [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] net::RmiTransport& rmi() { return rmi_; }
+  /// Null when the spec's FaultPlan is empty.
+  [[nodiscard]] net::FaultInjector* fault_injector() { return faults_.get(); }
   [[nodiscard]] db::Database& database() { return *db_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
@@ -75,8 +86,10 @@ class Experiment final : public workload::RequestExecutor {
   }
 
   // workload::RequestExecutor: one HTTP page request end to end, with
-  // entry-point failover on unreachable servers.
-  [[nodiscard]] sim::Task<void> execute(net::NodeId client_node,
+  // entry-point failover on unreachable servers and (when resilience is
+  // enabled) bounded whole-page retries on transient network faults.
+  // Returns false when the request was ultimately dropped.
+  [[nodiscard]] sim::Task<bool> execute(net::NodeId client_node,
                                         const workload::PageRequest& request) override;
 
   [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
@@ -108,6 +121,7 @@ class Experiment final : public workload::RequestExecutor {
   net::RmiTransport rmi_;
   std::unique_ptr<db::Database> db_;
   std::unique_ptr<comp::Runtime> runtime_;
+  std::unique_ptr<net::FaultInjector> faults_;
   stats::ResponseTimeCollector collector_;
   std::unique_ptr<workload::LoadGenerator> loadgen_;
   std::map<net::NodeId, std::unique_ptr<sim::FifoResource>> thread_pools_;

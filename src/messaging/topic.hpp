@@ -84,14 +84,15 @@ class Topic {
 
   sim::Task<void> drain(Subscriber& sub) {
     while (!sub.queue.empty()) {
-      // At-least-once delivery: on a network partition the provider holds
-      // the message and retries until the subscriber is reachable again.
+      // At-least-once delivery: on a network partition — or a message lost
+      // by the fault injector — the provider holds the message and retries
+      // until the subscriber receives it.
       // (co_await is illegal inside a catch block, hence the flag.)
       bool sent = false;
       try {
         co_await net_.deliver(provider_, sub.node, sub.queue.front().bytes);
         sent = true;
-      } catch (const net::NoRouteError&) {
+      } catch (const net::NetError&) {
         ++delivery_retries_;
       }
       if (!sent) {

@@ -1,17 +1,38 @@
 #include "net/network.hpp"
 
+#include "net/faults.hpp"
+
 namespace mutsvc::net {
 
 sim::Task<void> Network::deliver(NodeId from, NodeId to, Bytes size) {
+  if (from == to) {  // loopback is free (and lossless: no link traversed)
+    ++messages_;
+    bytes_ += size;
+    co_return;
+  }
+  // Resolve the route before touching any counter: a send with no live
+  // route (NoRouteError) never put a byte on the wire.
+  std::vector<Link*> route = topo_.path(from, to);
   ++messages_;
   bytes_ += size;
-  if (from == to) co_return;  // loopback is free
 
   bool crossed_wan = false;
-  for (Link* link : topo_.path(from, to)) {
+  for (Link* link : route) {
     if (link->latency >= wan_threshold_) crossed_wan = true;
+    // Decide loss up front so the draw order is independent of queueing,
+    // but surface it only after the would-be transmission time has passed:
+    // a lost message still occupied the serializer and the pipe.
+    const bool lost = faults_ != nullptr && faults_->lose_message(*link);
     co_await link->serializer->consume(link->transmission_time(size));
-    co_await sim_.wait(link->latency + per_hop_overhead_);
+    sim::Duration hop_latency = link->latency + per_hop_overhead_;
+    if (faults_ != nullptr) hop_latency += faults_->jitter(*link);
+    co_await sim_.wait(hop_latency);
+    if (lost) {
+      ++messages_lost_;
+      bytes_lost_ += size;
+      throw DeliveryError("Network::deliver: message lost on link " +
+                          topo_.node(link->from).name + "->" + topo_.node(link->to).name);
+    }
   }
   if (crossed_wan) {
     ++wan_messages_;

@@ -8,6 +8,8 @@
 
 namespace mutsvc::net {
 
+class FaultInjector;
+
 /// Moves messages across the topology.
 ///
 /// Per directed link a message first queues at the link's FIFO serializer
@@ -23,7 +25,16 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Delivers one message; completes when the last byte arrives at `to`.
+  /// Throws NoRouteError before any traffic is generated when no live route
+  /// exists, and DeliveryError (after the time spent up to the losing hop)
+  /// when the fault injector drops the message.
   [[nodiscard]] sim::Task<void> deliver(NodeId from, NodeId to, Bytes size);
+
+  /// Installs a fault injector consulted per hop for message loss and
+  /// latency jitter. Null detaches it. The injector must outlive all
+  /// in-flight deliveries.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return faults_; }
 
   /// Round-trip propagation latency between two nodes (no queueing).
   [[nodiscard]] sim::Duration rtt(NodeId a, NodeId b) { return topo_.rtt(a, b); }
@@ -32,13 +43,19 @@ class Network {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
   // --- accounting ---------------------------------------------------------
+  // A message counts as "sent" only once a live route was resolved (a send
+  // that throws NoRouteError generated no traffic). Lost messages DID
+  // occupy the wire up to the losing hop, so they stay in messages_sent and
+  // are additionally counted in messages_lost.
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] std::uint64_t wan_messages_sent() const { return wan_messages_; }
   [[nodiscard]] Bytes bytes_sent() const { return bytes_; }
   [[nodiscard]] Bytes wan_bytes_sent() const { return wan_bytes_; }
+  [[nodiscard]] std::uint64_t messages_lost() const { return messages_lost_; }
+  [[nodiscard]] Bytes bytes_lost() const { return bytes_lost_; }
   void reset_counters() {
-    messages_ = wan_messages_ = 0;
-    bytes_ = wan_bytes_ = 0;
+    messages_ = wan_messages_ = messages_lost_ = 0;
+    bytes_ = wan_bytes_ = bytes_lost_ = 0;
   }
 
   /// A link is "WAN" if its propagation latency passes this threshold;
@@ -50,10 +67,13 @@ class Network {
   Topology& topo_;
   sim::Duration per_hop_overhead_;
   sim::Duration wan_threshold_ = sim::ms(10);
+  FaultInjector* faults_ = nullptr;
   std::uint64_t messages_ = 0;
   std::uint64_t wan_messages_ = 0;
+  std::uint64_t messages_lost_ = 0;
   Bytes bytes_ = 0;
   Bytes wan_bytes_ = 0;
+  Bytes bytes_lost_ = 0;
 };
 
 }  // namespace mutsvc::net

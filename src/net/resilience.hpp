@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mutsvc::net {
+
+/// Client-side resilience policy for remote invocations (RAFDA's argument:
+/// distribution policy belongs in the middleware, not in component code).
+/// Disabled by default — the seed behaviour (one attempt, failures
+/// propagate) is unchanged unless an experiment opts in.
+struct ResilienceConfig {
+  bool enabled = false;
+
+  /// Per-attempt client-side timeout: a lost message is silent, the caller
+  /// only learns of it when this much time has passed since the attempt
+  /// started. (Fast failures — no route, open breaker — don't wait.)
+  sim::Duration call_timeout = sim::sec(1);
+
+  /// Bounded retries: total attempts = 1 + max_retries.
+  int max_retries = 3;
+  sim::Duration backoff_base = sim::ms(50);
+  double backoff_multiplier = 2.0;
+  sim::Duration backoff_cap = sim::sec(2);
+  /// Uniform +/- fraction applied to each backoff (decorrelates retries).
+  double backoff_jitter = 0.2;
+
+  /// Per-destination circuit breaker.
+  int breaker_failure_threshold = 5;        // consecutive failures -> open
+  sim::Duration breaker_open_for = sim::sec(5);  // open window before half-open
+
+  // --- graceful degradation (component runtime) ---------------------------
+  /// Serve bounded-stale ReadOnlyCache entries when the master is
+  /// unreachable (bounded by the plan's TACT staleness bound; 0 = any age).
+  bool degraded_reads = true;
+  /// Queue façade writes through a local JMS topic when the master is
+  /// unreachable; the provider redelivers once the partition heals.
+  bool queue_writes = true;
+  /// Client-side (browser) whole-page retries on transient failures.
+  int http_retries = 3;
+};
+
+/// Closed -> Open -> Half-open circuit breaker on simulated time.
+///
+/// Closed: calls flow; `failure_threshold` consecutive failures open it.
+/// Open: calls are rejected without traffic until `open_for` elapses.
+/// Half-open: exactly one probe call is admitted at a time; success closes
+/// the breaker, failure re-opens it. Every transition is counted so the
+/// experiment results can report breaker activity.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(int failure_threshold, sim::Duration open_for)
+      : threshold_(failure_threshold), open_for_(open_for) {}
+
+  /// May a call proceed at `now`? Moves Open -> HalfOpen once the open
+  /// window has elapsed (the returned `true` is the probe's admission).
+  [[nodiscard]] bool allow(sim::SimTime now) {
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        if (now < open_until_) {
+          ++rejected_;
+          return false;
+        }
+        state_ = State::kHalfOpen;
+        ++half_opened_;
+        probe_in_flight_ = true;
+        return true;
+      case State::kHalfOpen:
+        if (probe_in_flight_) {
+          ++rejected_;
+          return false;
+        }
+        probe_in_flight_ = true;
+        return true;
+    }
+    return true;
+  }
+
+  /// Like allow() but without side effects: true when a call made now would
+  /// be rejected (used to pre-empt doomed work and degrade immediately).
+  [[nodiscard]] bool would_reject(sim::SimTime now) const {
+    if (state_ == State::kOpen) return now < open_until_;
+    if (state_ == State::kHalfOpen) return probe_in_flight_;
+    return false;
+  }
+
+  void on_success(sim::SimTime) {
+    if (state_ != State::kClosed) ++closed_;
+    state_ = State::kClosed;
+    probe_in_flight_ = false;
+    consecutive_failures_ = 0;
+  }
+
+  void on_failure(sim::SimTime now) {
+    if (state_ == State::kHalfOpen) {
+      probe_in_flight_ = false;
+      open(now);
+      return;
+    }
+    if (state_ == State::kClosed && ++consecutive_failures_ >= threshold_) open(now);
+  }
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] std::uint64_t opened() const { return opened_; }
+  [[nodiscard]] std::uint64_t half_opened() const { return half_opened_; }
+  [[nodiscard]] std::uint64_t closed() const { return closed_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  void open(sim::SimTime now) {
+    state_ = State::kOpen;
+    ++opened_;
+    open_until_ = now + open_for_;
+    consecutive_failures_ = 0;
+  }
+
+  int threshold_;
+  sim::Duration open_for_;
+  State state_ = State::kClosed;
+  sim::SimTime open_until_;
+  bool probe_in_flight_ = false;
+  int consecutive_failures_ = 0;
+  std::uint64_t opened_ = 0;
+  std::uint64_t half_opened_ = 0;
+  std::uint64_t closed_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace mutsvc::net

@@ -1,8 +1,134 @@
 #include "net/rmi.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace mutsvc::net {
+
+CircuitBreaker& RmiTransport::breaker(NodeId callee) {
+  auto it = breakers_.find(callee);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(callee,
+                      CircuitBreaker{res_.breaker_failure_threshold, res_.breaker_open_for})
+             .first;
+  }
+  return it->second;
+}
+
+std::uint64_t RmiTransport::breaker_opens() const {
+  std::uint64_t n = 0;
+  for (const auto& [node, br] : breakers_) n += br.opened();
+  return n;
+}
+
+std::uint64_t RmiTransport::breaker_half_opens() const {
+  std::uint64_t n = 0;
+  for (const auto& [node, br] : breakers_) n += br.half_opened();
+  return n;
+}
+
+std::uint64_t RmiTransport::breaker_closes() const {
+  std::uint64_t n = 0;
+  for (const auto& [node, br] : breakers_) n += br.closed();
+  return n;
+}
+
+sim::Duration RmiTransport::backoff_delay(int attempt_no) {
+  double d = res_.backoff_base.as_seconds() * std::pow(res_.backoff_multiplier, attempt_no);
+  d = std::min(d, res_.backoff_cap.as_seconds());
+  if (res_.backoff_jitter > 0.0) {
+    d *= 1.0 + rng_.uniform(-res_.backoff_jitter, res_.backoff_jitter);
+  }
+  return sim::Duration::seconds(std::max(d, 0.0));
+}
+
+sim::Task<void> RmiTransport::attempt(NodeId caller, NodeId callee, Bytes args,
+                                      std::function<sim::Task<Bytes>()> server_work) {
+  if (cfg_.extra_rtt_prob > 0.0 && rng_.bernoulli(cfg_.extra_rtt_prob)) {
+    ++extra_round_trips_;
+    co_await net_.deliver(caller, callee, cfg_.ping_bytes);
+    co_await net_.deliver(callee, caller, cfg_.ping_bytes);
+  }
+  auto inflate = [&](Bytes b) {
+    return static_cast<Bytes>(std::llround(static_cast<double>(b) * cfg_.dgc_traffic_factor));
+  };
+  co_await net_.deliver(caller, callee, inflate(cfg_.call_overhead + args));
+  Bytes result = co_await server_work();
+  co_await net_.deliver(callee, caller, inflate(cfg_.reply_overhead + result));
+}
+
+sim::Task<void> RmiTransport::do_call(NodeId caller, NodeId callee, Bytes args,
+                                      std::function<sim::Task<Bytes>()> server_work) {
+  if (!res_.enabled) {
+    co_await attempt(caller, callee, args, std::move(server_work));
+    co_return;
+  }
+
+  CircuitBreaker& br = breaker(callee);
+  // Exactly-once server execution across retries: a replayed request whose
+  // predecessor already ran the work gets the memoized reply size. A failure
+  // thrown *by* the work (e.g. a nested call exhausting its own retries) is a
+  // server-side error, not transport loss of this call: it must propagate to
+  // the caller instead of triggering a replay of a partially-run body.
+  bool work_done = false;
+  bool work_failed = false;
+  Bytes done_result = 0;
+  auto once = [&]() -> sim::Task<Bytes> {
+    if (!work_done) {
+      try {
+        done_result = co_await server_work();
+      } catch (...) {
+        work_failed = true;  // no co_await here: flag and rethrow only
+        throw;
+      }
+      work_done = true;
+    }
+    co_return done_result;
+  };
+
+  for (int attempt_no = 0;; ++attempt_no) {
+    if (!br.allow(net_.simulator().now())) {
+      ++breaker_rejections_;
+      throw CircuitOpenError("RmiTransport: circuit to callee is open");
+    }
+    const sim::SimTime t0 = net_.simulator().now();
+    bool ok = false;
+    bool silent_loss = false;  // co_await is illegal in a catch block
+    try {
+      co_await attempt(caller, callee, args, once);
+      ok = true;
+    } catch (const DeliveryError&) {
+      if (work_failed) throw;  // server-side failure: do not replay
+      silent_loss = true;
+    } catch (const NoRouteError&) {
+      if (work_failed) throw;
+      // Connection refused / no route: the caller notices immediately.
+    }
+    if (ok) {
+      br.on_success(net_.simulator().now());
+      co_return;
+    }
+    if (silent_loss) {
+      // A lost message gives the caller no signal; it waits out the
+      // per-attempt timeout before acting.
+      const sim::SimTime deadline = t0 + res_.call_timeout;
+      if (net_.simulator().now() < deadline) {
+        co_await net_.simulator().wait(deadline - net_.simulator().now());
+      }
+      ++timeouts_;
+    }
+    br.on_failure(net_.simulator().now());
+    if (attempt_no >= res_.max_retries) {
+      ++failed_calls_;
+      throw DeliveryError("RmiTransport: call failed after " +
+                          std::to_string(attempt_no + 1) + " attempts");
+    }
+    ++retries_;
+    co_await net_.simulator().wait(backoff_delay(attempt_no));
+  }
+}
 
 sim::Task<void> RmiTransport::call(NodeId caller, NodeId callee, Bytes args, Bytes result,
                                    std::function<sim::Task<void>()> server_work) {
@@ -12,19 +138,11 @@ sim::Task<void> RmiTransport::call(NodeId caller, NodeId callee, Bytes args, Byt
     co_return;
   }
   ++remote_calls_;
-
-  if (cfg_.extra_rtt_prob > 0.0 && rng_.bernoulli(cfg_.extra_rtt_prob)) {
-    ++extra_round_trips_;
-    co_await net_.deliver(caller, callee, cfg_.ping_bytes);
-    co_await net_.deliver(callee, caller, cfg_.ping_bytes);
-  }
-
-  auto inflate = [&](Bytes b) {
-    return static_cast<Bytes>(std::llround(static_cast<double>(b) * cfg_.dgc_traffic_factor));
-  };
-  co_await net_.deliver(caller, callee, inflate(cfg_.call_overhead + args));
-  co_await server_work();
-  co_await net_.deliver(callee, caller, inflate(cfg_.reply_overhead + result));
+  co_await do_call(caller, callee, args,
+                   [result, work = std::move(server_work)]() -> sim::Task<Bytes> {
+                     co_await work();
+                     co_return result;
+                   });
 }
 
 sim::Task<void> RmiTransport::call_dynamic(NodeId caller, NodeId callee, Bytes args,
@@ -35,19 +153,7 @@ sim::Task<void> RmiTransport::call_dynamic(NodeId caller, NodeId callee, Bytes a
     co_return;
   }
   ++remote_calls_;
-
-  if (cfg_.extra_rtt_prob > 0.0 && rng_.bernoulli(cfg_.extra_rtt_prob)) {
-    ++extra_round_trips_;
-    co_await net_.deliver(caller, callee, cfg_.ping_bytes);
-    co_await net_.deliver(callee, caller, cfg_.ping_bytes);
-  }
-
-  auto inflate = [&](Bytes b) {
-    return static_cast<Bytes>(std::llround(static_cast<double>(b) * cfg_.dgc_traffic_factor));
-  };
-  co_await net_.deliver(caller, callee, inflate(cfg_.call_overhead + args));
-  Bytes result = co_await server_work();
-  co_await net_.deliver(callee, caller, inflate(cfg_.reply_overhead + result));
+  co_await do_call(caller, callee, args, std::move(server_work));
 }
 
 sim::Task<void> RmiTransport::stub_exchange(NodeId caller, NodeId callee) {

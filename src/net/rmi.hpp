@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 
 #include "net/network.hpp"
+#include "net/resilience.hpp"
 #include "net/types.hpp"
 #include "sim/random.hpp"
 
@@ -32,6 +34,14 @@ struct RmiConfig {
 
 /// Remote Method Invocation cost model over pooled container-to-container
 /// connections (no per-call TCP handshake).
+///
+/// When a ResilienceConfig is enabled, every remote call runs under the
+/// resilience policy: per-attempt timeout (lost messages are silent — the
+/// caller waits out the timeout before retrying), bounded retries with
+/// exponential backoff + jitter, and a per-destination circuit breaker.
+/// Server work executes at most once per call: a retry whose predecessor
+/// completed the work but lost the reply only replays the exchange
+/// (idempotent replay, the reply is served from the completed execution).
 class RmiTransport {
  public:
   RmiTransport(Network& net, RmiConfig cfg = {})
@@ -55,20 +65,60 @@ class RmiTransport {
   /// creation). Costs one round trip.
   [[nodiscard]] sim::Task<void> stub_exchange(NodeId caller, NodeId callee);
 
+  /// Installs the resilience policy. Call before issuing traffic.
+  void set_resilience(ResilienceConfig res) { res_ = res; }
+  [[nodiscard]] const ResilienceConfig& resilience() const { return res_; }
+
+  /// True when a call to `callee` made now would be rejected by its open
+  /// circuit breaker — callers can skip doomed work and degrade instead.
+  [[nodiscard]] bool fast_fail(NodeId callee) const {
+    if (!res_.enabled) return false;
+    auto it = breakers_.find(callee);
+    return it != breakers_.end() && it->second.would_reject(net_.simulator().now());
+  }
+
+  /// Breaker for `callee` (created on first use).
+  [[nodiscard]] CircuitBreaker& breaker(NodeId callee);
+
   [[nodiscard]] const RmiConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t calls() const { return calls_; }
   [[nodiscard]] std::uint64_t remote_calls() const { return remote_calls_; }
   [[nodiscard]] std::uint64_t extra_round_trips() const { return extra_round_trips_; }
   [[nodiscard]] std::uint64_t stub_exchanges() const { return stub_exchanges_; }
 
+  // --- resilience accounting ----------------------------------------------
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t failed_calls() const { return failed_calls_; }
+  [[nodiscard]] std::uint64_t breaker_rejections() const { return breaker_rejections_; }
+  [[nodiscard]] std::uint64_t breaker_opens() const;
+  [[nodiscard]] std::uint64_t breaker_half_opens() const;
+  [[nodiscard]] std::uint64_t breaker_closes() const;
+
  private:
+  /// One wire attempt (extra-RTT draw, request, server work, reply).
+  [[nodiscard]] sim::Task<void> attempt(NodeId caller, NodeId callee, Bytes args,
+                                        std::function<sim::Task<Bytes>()> server_work);
+
+  /// Resilient envelope shared by call/call_dynamic.
+  [[nodiscard]] sim::Task<void> do_call(NodeId caller, NodeId callee, Bytes args,
+                                        std::function<sim::Task<Bytes>()> server_work);
+
+  [[nodiscard]] sim::Duration backoff_delay(int attempt_no);
+
   Network& net_;
   RmiConfig cfg_;
+  ResilienceConfig res_;
   sim::RngStream rng_;
+  std::map<NodeId, CircuitBreaker> breakers_;
   std::uint64_t calls_ = 0;
   std::uint64_t remote_calls_ = 0;
   std::uint64_t extra_round_trips_ = 0;
   std::uint64_t stub_exchanges_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t failed_calls_ = 0;
+  std::uint64_t breaker_rejections_ = 0;
 };
 
 }  // namespace mutsvc::net

@@ -37,6 +37,13 @@ void Topology::add_link(NodeId a, NodeId b, sim::Duration latency, double bandwi
   routes_valid_ = false;
 }
 
+std::vector<Link*> Topology::all_links() {
+  std::vector<Link*> out;
+  out.reserve(links_.size());
+  for (const auto& l : links_) out.push_back(l.get());
+  return out;
+}
+
 Node& Topology::node(NodeId id) {
   if (id.value() >= nodes_.size()) throw std::out_of_range("Topology::node: bad id");
   return nodes_[id.value()];

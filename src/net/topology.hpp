@@ -35,9 +35,9 @@ struct Node {
 };
 
 /// Thrown when no live route exists between two nodes (failure injection).
-class NoRouteError : public std::runtime_error {
+class NoRouteError : public NetError {
  public:
-  using std::runtime_error::runtime_error;
+  using NetError::NetError;
 };
 
 /// A directed link: propagation latency plus a FIFO serializer at the link
@@ -83,6 +83,13 @@ class Topology {
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] NodeId find(const std::string& name) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Every directed link, in creation order (duplex pairs are adjacent).
+  /// Used by the fault injector to pick flap victims and cut partitions.
+  [[nodiscard]] std::vector<Link*> all_links();
+
+  /// Marks routes stale after direct `Link::up` manipulation.
+  void invalidate_routes() { routes_valid_ = false; }
 
   /// Recomputes routes; called automatically on first routing query after a
   /// topology change.

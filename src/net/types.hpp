@@ -4,8 +4,34 @@
 #include <cstdint>
 #include <functional>
 #include <ostream>
+#include <stdexcept>
 
 namespace mutsvc::net {
+
+/// Base of every network-layer failure a caller may want to survive
+/// (no route, lost message, open circuit breaker). Application-level
+/// errors do NOT derive from this, so resilience code can retry network
+/// failures without swallowing bugs.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A message was lost in flight (fault injection): the sender gets no
+/// signal — in real deployments only a timeout reveals the loss — but the
+/// simulation surfaces it as an exception raised after the would-be
+/// transmission time so callers can model that timeout.
+class DeliveryError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+/// Fast-fail: the per-destination circuit breaker is open, the call was
+/// rejected without generating any traffic.
+class CircuitOpenError : public NetError {
+ public:
+  using NetError::NetError;
+};
 
 /// Identifies a node in the emulated topology.
 class NodeId {

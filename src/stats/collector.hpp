@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,6 +52,34 @@ class ResponseTimeCollector {
       if (ts == nullptr) ts = std::make_unique<TimeSeries>(series_window_);
       ts->add(completed_at, ms);
     }
+  }
+
+  /// Records one failed page request (availability / SLO accounting).
+  /// Failures inside the warm-up window are discarded like samples.
+  void record_failure(sim::SimTime at, const std::string& page, const std::string& pattern,
+                      ClientGroup group) {
+    (void)page;
+    if (at < sim::SimTime::origin() + warmup_) {
+      ++discarded_;
+      return;
+    }
+    ++failures_;
+    ++pattern_failures_[{pattern, group}];
+  }
+
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+
+  [[nodiscard]] std::uint64_t pattern_failures(const std::string& pattern,
+                                               ClientGroup group) const {
+    auto it = pattern_failures_.find({pattern, group});
+    return it == pattern_failures_.end() ? 0 : it->second;
+  }
+
+  /// Fraction of post-warmup requests that succeeded (1.0 when idle).
+  [[nodiscard]] double success_fraction() const {
+    const std::size_t ok = total_samples();
+    const std::uint64_t total = ok + failures_;
+    return total == 0 ? 1.0 : static_cast<double>(ok) / static_cast<double>(total);
   }
 
   /// Enables per-group windowed time series (response time over the run);
@@ -110,6 +139,8 @@ class ResponseTimeCollector {
   sim::Duration series_window_ = sim::Duration::zero();
   std::map<ClientGroup, std::unique_ptr<TimeSeries>> series_;
   std::size_t discarded_ = 0;
+  std::uint64_t failures_ = 0;
+  std::map<Key, std::uint64_t> pattern_failures_;
 };
 
 }  // namespace mutsvc::stats

@@ -36,10 +36,14 @@ sim::Task<void> LoadGenerator::run_client(ClientGroupSpec spec, bool is_browser,
     while (auto req = script->next()) {
       if (sim_.now() >= end_at) co_return;
       const sim::SimTime start = sim_.now();
-      co_await executor_.execute(spec.client_node, *req);
+      const bool ok = co_await executor_.execute(spec.client_node, *req);
       const sim::Duration response_time = sim_.now() - start;
       ++requests_;
-      collector_.record(sim_.now(), req->page, req->pattern, spec.group, response_time);
+      if (ok) {
+        collector_.record(sim_.now(), req->page, req->pattern, spec.group, response_time);
+      } else {
+        collector_.record_failure(sim_.now(), req->page, req->pattern, spec.group);
+      }
       // Soft delay (§3.3): DELAY - response_time, so DELAY is the interval
       // between *sending* successive requests.
       const sim::Duration remaining = cfg_.think_time - response_time;

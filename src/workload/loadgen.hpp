@@ -14,11 +14,14 @@
 namespace mutsvc::workload {
 
 /// How a page request actually reaches the service; implemented by the
-/// experiment harness (HTTP + container runtime).
+/// experiment harness (HTTP + container runtime). Returns true when the
+/// request succeeded; false when it failed after the harness exhausted its
+/// recovery options (availability accounting). Implementations must not
+/// leak exceptions — an escaping exception kills the client task.
 class RequestExecutor {
  public:
   virtual ~RequestExecutor() = default;
-  [[nodiscard]] virtual sim::Task<void> execute(net::NodeId client_node,
+  [[nodiscard]] virtual sim::Task<bool> execute(net::NodeId client_node,
                                                 const PageRequest& request) = 0;
 };
 
