@@ -22,7 +22,7 @@ const std::array<const char*, 5> kKeywords = {"fish", "dog", "cat", "bird", "sna
 /// The web tier's pre-façade data access (§4.2): entity-by-entity BMP-style
 /// traversal — one finder plus one pk load per row (the "n+1 database
 /// calls problem", §5).
-Task<void> n_plus_1_fetch(CallContext& ctx, Query finder, const std::string& table) {
+[[nodiscard]] Task<void> n_plus_1_fetch(CallContext& ctx, Query finder, const std::string& table) {
   db::QueryResult heads = co_await ctx.direct_query(std::move(finder));
   for (const auto& head : heads.rows) {
     db::QueryResult full = co_await ctx.direct_query(Query::pk_lookup(table, db::as_int(head[0])));

@@ -42,7 +42,16 @@ class ConsistencyTracker {
   void advance_to(const std::string& key, std::uint64_t v) {
     std::uint64_t& m = versions_[key];
     m = std::max(m, v);
+    // Reclaim the allocation entry once the master has caught up with every
+    // version handed out for this key: allocate() re-derives from the master,
+    // so the entry only needs to outlive in-flight transactions.
+    auto it = allocated_.find(key);
+    if (it != allocated_.end() && it->second <= m) allocated_.erase(it);
   }
+
+  /// Keys with a version allocated but not yet advanced to (in-flight
+  /// transactions). Bounded by concurrency, not by keys ever written.
+  [[nodiscard]] std::size_t pending_allocations() const { return allocated_.size(); }
 
   [[nodiscard]] std::uint64_t master_version(const std::string& key) const {
     auto it = versions_.find(key);

@@ -56,6 +56,7 @@ class QueryCache {
   /// Drops every entry whose key starts with `prefix`.
   std::size_t invalidate_prefix(const std::string& prefix) {
     std::size_t dropped = 0;
+    // Order-independent sweep: every matching entry is erased and counted.  // simlint:allow(unordered-iter)
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->first.starts_with(prefix)) {
         it = entries_.erase(it);

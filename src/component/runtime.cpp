@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/simcheck.hpp"
+
 namespace mutsvc::comp {
 
 // --- CallContext thin wrappers ----------------------------------------------
@@ -100,6 +102,15 @@ Runtime::Runtime(sim::Simulator& sim, net::Topology& topo, net::Network& net,
         return apply_batch(edge, batch);
       });
     }
+  }
+}
+
+void Runtime::note_read(const std::string& key, std::uint64_t seen_version) {
+  consistency_.observe_read(key, seen_version);
+  if (simcheck::enabled()) {
+    const bool invariant_applies = plan_.update_mode() == UpdateMode::kBlockingPush &&
+                                   failed_pushes_ == 0 && degraded_reads_ == 0;
+    simcheck::probe_zero_staleness(consistency_.stale_reads(), invariant_applies);
   }
 }
 
@@ -308,11 +319,11 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
     // TTL) when the TACT staleness bound admits it.
     if (may_degrade && rmi_.fast_fail(primary) && serve_stale()) {
       ++degraded_reads_;
-      consistency_.observe_read(vkey, raw->version);
+      note_read(vkey, raw->version);
       co_return raw->row;
     }
     if (auto entry = cache.get_if_fresh(pk, sim_.now(), cfg_.ro_ttl)) {
-      consistency_.observe_read(vkey, entry->version);
+      note_read(vkey, entry->version);
       co_return entry->row;
     }
     // Pull refresh: one RMI to the remote façade co-located with the data
@@ -341,7 +352,7 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
       // Refresh failed mid-outage: fall back to the stale replica.
       if (serve_stale()) {
         ++degraded_reads_;
-        consistency_.observe_read(vkey, raw->version);
+        note_read(vkey, raw->version);
         co_return raw->row;
       }
       throw net::DeliveryError("Runtime: read of " + vkey +
@@ -353,7 +364,7 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
     }
     if (fetched.has_value()) {
       cache.fill(pk, *fetched, version, sim_.now());
-      consistency_.observe_read(vkey, version);
+      note_read(vkey, version);
     }
     co_return fetched;
   }
@@ -364,7 +375,7 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
     co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
     db::QueryResult res = co_await jdbc_for(primary).execute(db::Query::pk_lookup(table, pk));
     if (trace) trace->add(SpanKind::kJdbc, sim_.now() - j0);
-    consistency_.observe_read(vkey, consistency_.master_version(vkey));
+    note_read(vkey, consistency_.master_version(vkey));
     if (res.rows.empty()) co_return std::nullopt;
     co_return std::move(res.rows[0]);
   };
@@ -392,7 +403,7 @@ sim::Task<db::QueryResult> Runtime::cached_query_impl(net::NodeId node, db::Quer
     co_await topo_.node(node).cpu->consume(cfg_.cache_access);
     if (trace) trace->add(SpanKind::kCacheRead, cfg_.cache_access);
     if (auto entry = qc.get(key)) {
-      consistency_.observe_read(key, entry->version);
+      note_read(key, entry->version);
       co_return db::QueryResult{entry->rows, 0};
     }
     // Capture the version BEFORE executing the query: the fill must never
@@ -401,7 +412,7 @@ sim::Task<db::QueryResult> Runtime::cached_query_impl(net::NodeId node, db::Quer
     const std::uint64_t pre_version = consistency_.master_version(key);
     db::QueryResult res = co_await query_at_main(node, q, trace);
     qc.fill(key, res.rows, pre_version);
-    consistency_.observe_read(key, pre_version);
+    note_read(key, pre_version);
     co_return res;
   }
   co_return co_await query_at_main(node, std::move(q), trace);
@@ -477,14 +488,24 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
       write.kind == db::QueryKind::kInsert ? db::as_int(write.row.at(0)) : write.pk;
   const LockManager::Key lock_key{entity, pk};
   const bool already_held = ctx != nullptr && ctx->holds_lock(lock_key);
+  // Sanitizer identity: the transaction (CallContext) when the write joins
+  // one, else a synthetic single-use actor. Zero when SimCheck is off.
+  const simcheck::ActorId actor =
+      !simcheck::enabled() ? 0
+      : ctx != nullptr     ? simcheck::actor_from_pointer(ctx)
+                           : simcheck::anonymous_actor();
   if (!already_held) {
     const sim::SimTime l0 = sim_.now();
-    co_await locks_.acquire(lock_key);
+    co_await locks_.acquire(lock_key, actor);
     if (trace) trace->add(SpanKind::kLockWait, sim_.now() - l0);
   }
   if (ctx != nullptr && !already_held) ctx->tx_locks_.push_back(lock_key);
 
   try {
+    // The write span covers the suspension points of the mutation; under
+    // SimCheck, a second coroutine entering it for the same (entity, pk)
+    // without the lock is flagged as a write overlap.
+    simcheck::WriteGuard guard(actor, version_key(entity, pk), /*holds_lock=*/true);
     const sim::SimTime j0 = sim_.now();
     co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
     (void)co_await jdbc_for(primary).execute(write);

@@ -346,6 +346,12 @@ class Runtime {
     return entity + ":" + std::to_string(pk);
   }
 
+  /// Observes a read through the ConsistencyTracker and, under
+  /// MUTSVC_SIMCHECK, hard-fails on a stale read whenever the §4.3
+  /// zero-staleness invariant applies (blocking push, no failed pushes, no
+  /// degraded reads).
+  void note_read(const std::string& key, std::uint64_t seen_version);
+
   static net::Bytes values_bytes(const std::vector<db::Value>& vals);
   static net::Bytes rows_bytes(const std::vector<db::Row>& rows);
 

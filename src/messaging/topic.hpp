@@ -82,7 +82,7 @@ class Topic {
     bool draining = false;
   };
 
-  sim::Task<void> drain(Subscriber& sub) {
+  [[nodiscard]] sim::Task<void> drain(Subscriber& sub) {
     while (!sub.queue.empty()) {
       // At-least-once delivery: on a network partition — or a message lost
       // by the fault injector — the provider holds the message and retries

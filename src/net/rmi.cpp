@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "sim/simcheck.hpp"
+
 namespace mutsvc::net {
 
 CircuitBreaker& RmiTransport::breaker(NodeId callee) {
@@ -75,8 +77,12 @@ sim::Task<void> RmiTransport::do_call(NodeId caller, NodeId callee, Bytes args,
   bool work_done = false;
   bool work_failed = false;
   Bytes done_result = 0;
+  // SimCheck probe: one id per logical call, spanning its retries. The
+  // sanitizer hard-fails if the guarded body below ever runs twice for it.
+  const std::uint64_t call_id = simcheck::enabled() ? simcheck::begin_rmi_call() : 0;
   auto once = [&]() -> sim::Task<Bytes> {
     if (!work_done) {
+      if (call_id != 0) simcheck::on_server_execution(call_id);
       try {
         done_result = co_await server_work();
       } catch (...) {

@@ -1,0 +1,252 @@
+#include "sim/simcheck.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace mutsvc::simcheck {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+  const char* v = std::getenv("MUTSVC_SIMCHECK");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "yes") == 0;
+}
+}  // namespace
+
+bool g_enabled = env_enabled();
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kMaxFindingMessages = 64;
+
+struct ActiveWrite {
+  std::uint64_t token = 0;
+  ActorId actor = 0;
+  bool holds_lock = false;
+};
+
+/// All sanitizer state. The simulation is single-threaded (one event loop),
+/// so a plain singleton needs no synchronization.
+struct Registry {
+  Report report;
+
+  // Lock bookkeeping.
+  std::map<std::string, LockId> lock_ids;
+  std::vector<std::string> lock_names;          // id - 1 -> name
+  std::map<LockId, ActorId> holder;             // currently held locks
+  std::map<ActorId, LockId> waiting;            // each actor waits on <= 1 lock
+  std::map<ActorId, std::vector<LockId>> held;  // locks held per actor
+  std::map<LockId, std::set<LockId>> order;     // edge H -> L: L taken while holding H
+  std::set<std::pair<LockId, LockId>> reported_inversions;
+
+  // Write spans, active per key.
+  std::map<std::string, std::vector<ActiveWrite>> spans;
+  std::map<std::uint64_t, std::string> span_keys;
+
+  // Exactly-once server executions.
+  std::set<std::uint64_t> executed_calls;
+
+  std::uint64_t next_actor = 1;
+  std::uint64_t next_token = 1;
+  std::uint64_t next_call = 1;
+
+  void add_finding(std::string msg) {
+    if (report.findings.size() < kMaxFindingMessages) report.findings.push_back(std::move(msg));
+  }
+
+  [[nodiscard]] const std::string& name_of(LockId id) const { return lock_names[id - 1]; }
+
+  /// True when `to` is reachable from `from` in the lock-order graph.
+  [[nodiscard]] bool order_reaches(LockId from, LockId to) const {
+    std::set<LockId> seen;
+    std::vector<LockId> stack{from};
+    while (!stack.empty()) {
+      LockId cur = stack.back();
+      stack.pop_back();
+      if (cur == to) return true;
+      if (!seen.insert(cur).second) continue;
+      auto it = order.find(cur);
+      if (it == order.end()) continue;
+      for (LockId next : it->second) stack.push_back(next);
+    }
+    return false;
+  }
+};
+
+Registry& reg() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+void set_enabled(bool on) { detail::g_enabled = on; }
+
+void reset() { reg() = Registry{}; }
+
+const Report& report() { return reg().report; }
+
+ActorId anonymous_actor() {
+  // Odd synthetic ids cannot collide with (even, word-aligned) pointer-derived
+  // actor ids.
+  return (reg().next_actor++ << 1) | 1;
+}
+
+LockId intern_lock(const std::string& name) {
+  Registry& r = reg();
+  auto it = r.lock_ids.find(name);
+  if (it != r.lock_ids.end()) return it->second;
+  r.lock_names.push_back(name);
+  const LockId id = static_cast<LockId>(r.lock_names.size());
+  r.lock_ids.emplace(name, id);
+  return id;
+}
+
+void on_lock_request(ActorId actor, LockId lock) {
+  Registry& r = reg();
+  auto holder_it = r.holder.find(lock);
+  if (holder_it == r.holder.end()) return;  // free: granted without waiting
+
+  if (holder_it->second == actor) {
+    ++r.report.deadlocks;
+    const std::string msg = "simcheck: re-entrant acquire of '" + r.name_of(lock) +
+                            "' by its holder (self-deadlock under a FIFO mutex)";
+    r.add_finding(msg);
+    throw SimCheckError(msg);
+  }
+
+  // Walk the wait-for chain from the lock's holder. Each actor waits on at
+  // most one lock, so the chain is linear; revisiting `actor` closes a cycle.
+  std::string chain = r.name_of(lock);
+  std::set<ActorId> visited{actor};
+  ActorId cur = holder_it->second;
+  while (true) {
+    if (!visited.insert(cur).second) break;  // cycle among other actors: theirs to report
+    auto wait_it = r.waiting.find(cur);
+    if (wait_it == r.waiting.end()) break;  // chain ends at a runnable actor
+    chain += " -> " + r.name_of(wait_it->second);
+    auto next_holder = r.holder.find(wait_it->second);
+    if (next_holder == r.holder.end()) break;
+    if (next_holder->second == actor) {
+      ++r.report.deadlocks;
+      const std::string msg = "simcheck: deadlock cycle detected at acquire: waits " + chain +
+                              " which is held by the requester";
+      r.add_finding(msg);
+      throw SimCheckError(msg);
+    }
+    cur = next_holder->second;
+  }
+  r.waiting[actor] = lock;
+}
+
+void on_lock_acquired(ActorId actor, LockId lock) {
+  Registry& r = reg();
+  r.waiting.erase(actor);
+  // Lock-order graph: taking `lock` while holding H records H -> lock. A
+  // pre-existing path lock -> ... -> H means some other chain takes these
+  // locks in the opposite order: a potential deadlock even if this run got
+  // lucky with its interleaving.
+  auto held_it = r.held.find(actor);
+  if (held_it != r.held.end()) {
+    for (LockId h : held_it->second) {
+      if (h == lock) continue;
+      if (r.order_reaches(lock, h) &&
+          r.reported_inversions.insert({std::min(h, lock), std::max(h, lock)}).second) {
+        ++r.report.lock_order_inversions;
+        r.add_finding("simcheck: lock-order inversion: '" + r.name_of(h) + "' then '" +
+                      r.name_of(lock) + "' here, but the opposite order exists elsewhere");
+      }
+      r.order[h].insert(lock);
+    }
+  }
+  r.holder[lock] = actor;
+  r.held[actor].push_back(lock);
+}
+
+void on_lock_released(LockId lock) {
+  Registry& r = reg();
+  auto it = r.holder.find(lock);
+  if (it == r.holder.end()) return;
+  const ActorId actor = it->second;
+  r.holder.erase(it);
+  auto held_it = r.held.find(actor);
+  if (held_it != r.held.end()) {
+    auto& v = held_it->second;
+    for (auto h = v.begin(); h != v.end(); ++h) {
+      if (*h == lock) {
+        v.erase(h);
+        break;
+      }
+    }
+    if (v.empty()) r.held.erase(held_it);
+  }
+}
+
+std::uint64_t on_write_begin(ActorId actor, const std::string& key, bool holds_lock) {
+  Registry& r = reg();
+  const std::uint64_t token = r.next_token++;
+  for (const ActiveWrite& w : r.spans[key]) {
+    if (w.actor != actor && (!w.holds_lock || !holds_lock)) {
+      ++r.report.write_overlaps;
+      r.add_finding("simcheck: overlapping unlocked writes to '" + key +
+                    "' by two coroutines across a suspension point");
+    }
+  }
+  r.spans[key].push_back(ActiveWrite{token, actor, holds_lock});
+  r.span_keys.emplace(token, key);
+  return token;
+}
+
+void on_write_end(std::uint64_t token) {
+  Registry& r = reg();
+  auto key_it = r.span_keys.find(token);
+  if (key_it == r.span_keys.end()) return;
+  auto span_it = r.spans.find(key_it->second);
+  if (span_it != r.spans.end()) {
+    auto& v = span_it->second;
+    for (auto w = v.begin(); w != v.end(); ++w) {
+      if (w->token == token) {
+        v.erase(w);
+        break;
+      }
+    }
+    if (v.empty()) r.spans.erase(span_it);
+  }
+  r.span_keys.erase(key_it);
+}
+
+std::uint64_t begin_rmi_call() { return reg().next_call++; }
+
+void on_server_execution(std::uint64_t call_id) {
+  Registry& r = reg();
+  if (!r.executed_calls.insert(call_id).second) {
+    ++r.report.double_executions;
+    const std::string msg = "simcheck: server work executed twice for RMI call id " +
+                            std::to_string(call_id) +
+                            " (exactly-once memoization must replay, not re-run)";
+    r.add_finding(msg);
+    throw SimCheckError(msg);
+  }
+}
+
+void probe_zero_staleness(std::uint64_t stale_reads, bool invariant_applies) {
+  if (!invariant_applies || stale_reads == 0) return;
+  Registry& r = reg();
+  ++r.report.stale_read_violations;
+  const std::string msg =
+      "simcheck: " + std::to_string(stale_reads) +
+      " stale read(s) observed under blocking push with no failed pushes "
+      "(zero-staleness invariant of §4.3 violated)";
+  r.add_finding(msg);
+  throw SimCheckError(msg);
+}
+
+}  // namespace mutsvc::simcheck

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mutsvc::simcheck {
+
+/// SimCheck: the compiled-in, off-by-default runtime simulation sanitizer.
+///
+/// Enabled with MUTSVC_SIMCHECK=1 (or programmatically via set_enabled),
+/// it threads lightweight probes through the lock layer, the write path,
+/// and the propagation protocols, and turns the paper's correctness claims
+/// into hard-failing invariants:
+///
+///  - a wait-for graph over LockManager/SimMutex acquisitions detects
+///    deadlock cycles (and re-entrant self-deadlock) at acquire time, and
+///    records lock-order inversions (potential deadlocks) as findings;
+///  - a suspension-point write-overlap detector flags two coroutines
+///    mutating the same (entity, pk) state concurrently without both
+///    holding its lock;
+///  - protocol probes hard-fail when a stale read is observed under
+///    blocking push (§4.3 promises zero staleness) or when the RMI
+///    exactly-once memoization executes server work twice for one call id.
+///
+/// Every probe is a no-op (one relaxed bool load) when the sanitizer is
+/// disabled, so instrumented code costs nothing in normal runs. The
+/// sanitizer itself never schedules events or draws randomness: an enabled
+/// run follows the exact same trajectory as an uninstrumented one.
+
+/// Thrown on a hard invariant violation (deadlock cycle, stale read under
+/// blocking push, double server execution). Derives from logic_error so it
+/// is never swallowed by the transport's NetError handling.
+class SimCheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Aggregate findings of one sanitized run.
+struct Report {
+  std::uint64_t deadlocks = 0;
+  std::uint64_t lock_order_inversions = 0;
+  std::uint64_t write_overlaps = 0;
+  std::uint64_t stale_read_violations = 0;
+  std::uint64_t double_executions = 0;
+  /// Human-readable messages, bounded (the counters are exhaustive).
+  std::vector<std::string> findings;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return deadlocks + lock_order_inversions + write_overlaps + stale_read_violations +
+           double_executions;
+  }
+};
+
+namespace detail {
+extern bool g_enabled;  // initialized from MUTSVC_SIMCHECK at startup
+}
+
+/// True when the sanitizer is active. Callers gate probe calls on this so
+/// the disabled path stays a single branch.
+[[nodiscard]] inline bool enabled() noexcept { return detail::g_enabled; }
+
+/// Programmatic override of the MUTSVC_SIMCHECK environment switch (tests).
+void set_enabled(bool on);
+
+/// Clears all tracked state and the report (call between independent runs).
+void reset();
+
+[[nodiscard]] const Report& report();
+
+// --- lock instrumentation ----------------------------------------------------
+
+/// Opaque identity of a logical transaction / coroutine chain. Zero is
+/// never a valid actor.
+using ActorId = std::uint64_t;
+/// Opaque identity of one lock (interned by name, stable across the
+/// LockManager's mutex eviction).
+using LockId = std::uint64_t;
+
+/// A fresh synthetic actor for contexts with no natural identity
+/// (standalone transactions holding a single lock).
+[[nodiscard]] ActorId anonymous_actor();
+
+/// Derives an actor id from a stable object address (e.g. a CallContext).
+[[nodiscard]] inline ActorId actor_from_pointer(const void* p) noexcept {
+  return static_cast<ActorId>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+/// Interns `name` ("entity:pk") to a stable lock id.
+[[nodiscard]] LockId intern_lock(const std::string& name);
+
+/// Called before suspending on a contended lock (or acquiring a free one).
+/// Throws SimCheckError when granting the wait would close a cycle in the
+/// wait-for graph, or on a re-entrant acquire by the current holder.
+void on_lock_request(ActorId actor, LockId lock);
+
+/// Called after the lock is granted. Updates holder bookkeeping and the
+/// global lock-order graph; records (but does not throw on) lock-order
+/// inversions.
+void on_lock_acquired(ActorId actor, LockId lock);
+
+/// Called on release. The holder is looked up internally, so release paths
+/// that have no actor in scope stay uninstrumented-simple.
+void on_lock_released(LockId lock);
+
+// --- suspension-point write-overlap detector ---------------------------------
+
+/// Opens a write span on `key` ("entity:pk") for `actor`. If another
+/// actor's span is already active on the key and either side does not hold
+/// the entity lock, a write-overlap finding is recorded. Returns a token
+/// for on_write_end.
+[[nodiscard]] std::uint64_t on_write_begin(ActorId actor, const std::string& key,
+                                           bool holds_lock);
+void on_write_end(std::uint64_t token);
+
+/// RAII write span covering the suspension points of one entity mutation.
+/// Inert when the sanitizer is disabled at construction.
+class WriteGuard {
+ public:
+  WriteGuard(ActorId actor, const std::string& key, bool holds_lock) {
+    if (enabled()) {
+      token_ = on_write_begin(actor, key, holds_lock);
+      active_ = true;
+    }
+  }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+  ~WriteGuard() {
+    if (active_) on_write_end(token_);
+  }
+
+ private:
+  std::uint64_t token_ = 0;
+  bool active_ = false;
+};
+
+// --- protocol invariant probes -----------------------------------------------
+
+/// Allocates a unique id for one resilient RMI call (spanning its retries).
+[[nodiscard]] std::uint64_t begin_rmi_call();
+
+/// Marks the server-side work of `call_id` as executing. Throws
+/// SimCheckError on a second execution for the same id — the exactly-once
+/// memoization layer must replay completed work, never re-run it.
+void on_server_execution(std::uint64_t call_id);
+
+/// Zero-staleness probe (§4.3). `invariant_applies` is true when the run is
+/// under blocking push with no failed pushes and no degraded reads — i.e.
+/// when the paper's claim must hold unconditionally. Throws SimCheckError
+/// when it does not.
+void probe_zero_staleness(std::uint64_t stale_reads, bool invariant_applies);
+
+}  // namespace mutsvc::simcheck

@@ -47,7 +47,7 @@ struct TaskPromise : TaskPromiseBase {
   alignas(T) unsigned char storage[sizeof(T)];
   bool has_value = false;
 
-  Task<T> get_return_object() noexcept;
+  [[nodiscard]] Task<T> get_return_object() noexcept;
 
   template <class U>
   void return_value(U&& v) {
@@ -67,7 +67,7 @@ struct TaskPromise : TaskPromiseBase {
 
 template <>
 struct TaskPromise<void> : TaskPromiseBase {
-  Task<void> get_return_object() noexcept;
+  [[nodiscard]] Task<void> get_return_object() noexcept;
   void return_void() noexcept {}
   void take() {
     if (exception) std::rethrow_exception(exception);

@@ -108,6 +108,56 @@ TEST(ConsistencyTrackerTest, AllocateIsMonotoneAcrossConcurrentTransactions) {
   EXPECT_EQ(t.allocate("k"), 3u);
 }
 
+TEST(ConsistencyTrackerTest, WriteWriteConcurrencyOnSharedQueryKeyStaysZeroStale) {
+  // Two transactions write entities feeding the same aggregate query key.
+  // Under blocking push each installs its pushed entries at replicas before
+  // advancing the master — whatever the interleaving of allocate/advance_to,
+  // a reader that observes the replica's installed version is never stale.
+  ConsistencyTracker t;
+  const std::string q = "query:topSellers";
+
+  // Interleaving 1: allocate/allocate, advance in allocation order.
+  const std::uint64_t v1 = t.allocate(q);
+  const std::uint64_t v2 = t.allocate(q);
+  t.advance_to(q, v1);
+  t.observe_read(q, std::max(v1, t.master_version(q)));
+  t.advance_to(q, v2);
+  t.observe_read(q, t.master_version(q));
+  EXPECT_EQ(t.stale_reads(), 0u);
+
+  // Interleaving 2: the later transaction commits (and advances) first —
+  // the replica holds v4; when v3's advance arrives late it must not
+  // regress the master below what readers already saw.
+  const std::uint64_t v3 = t.allocate(q);
+  const std::uint64_t v4 = t.allocate(q);
+  EXPECT_LT(v3, v4);
+  t.advance_to(q, v4);
+  t.observe_read(q, v4);
+  t.advance_to(q, v3);  // late, smaller: no-op
+  EXPECT_EQ(t.master_version(q), v4);
+  t.observe_read(q, v4);
+  EXPECT_EQ(t.stale_reads(), 0u);
+  EXPECT_EQ(t.reads(), 4u);
+}
+
+TEST(ConsistencyTrackerTest, AllocationEntriesAreReclaimedWhenMasterCatchesUp) {
+  ConsistencyTracker t;
+  const std::uint64_t a = t.allocate("k1");
+  const std::uint64_t b = t.allocate("k1");
+  (void)t.allocate("k2");
+  EXPECT_EQ(t.pending_allocations(), 2u);
+  t.advance_to("k1", a);
+  // b is still in flight for k1: the entry must survive.
+  EXPECT_EQ(t.pending_allocations(), 2u);
+  t.advance_to("k1", b);
+  EXPECT_EQ(t.pending_allocations(), 1u);  // only k2 outstanding
+  // Reclamation must not change allocation monotonicity.
+  EXPECT_EQ(t.allocate("k1"), b + 1);
+  t.advance_to("k1", b + 1);
+  t.advance_to("k2", 1);
+  EXPECT_EQ(t.pending_allocations(), 0u);
+}
+
 // --- QueryCache ----------------------------------------------------------------
 
 TEST(QueryCacheTest, FillGetInvalidate) {

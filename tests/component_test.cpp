@@ -614,5 +614,65 @@ TEST(LockManagerTest, DistinctKeysDoNotContend) {
   EXPECT_EQ(lm.contended_acquisitions(), 0u);
 }
 
+TEST(LockManagerTest, EvictsUnlockedUncontendedMutexesOnRelease) {
+  Simulator sim;
+  LockManager lm{sim};
+  // A benchmark-scale key stream must not grow the mutex table: each
+  // uncontended acquire/release round-trip evicts its entry.
+  for (std::int64_t pk = 0; pk < 100; ++pk) {
+    sim.spawn([](Simulator& s, LockManager& lm, std::int64_t pk) -> Task<void> {
+      co_await lm.acquire({"Item", pk});
+      co_await s.wait(ms(1));
+      lm.release({"Item", pk});
+    }(sim, lm, pk));
+  }
+  sim.run_until();
+  EXPECT_EQ(lm.tracked_mutexes(), 0u);
+  EXPECT_EQ(lm.held_count(), 0u);
+  EXPECT_EQ(lm.acquisitions(), 100u);
+}
+
+TEST(LockManagerTest, ContendedMutexSurvivesReleaseUntilLastHolder) {
+  Simulator sim;
+  LockManager lm{sim};
+  const LockManager::Key key{"Item", 1};
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Simulator& s, LockManager& lm, LockManager::Key k,
+                 std::vector<double>& done) -> Task<void> {
+      co_await lm.acquire(k);
+      co_await s.wait(ms(10));
+      lm.release(k);
+      done.push_back(s.now().as_millis());
+    }(sim, lm, key, done));
+  }
+  sim.run_for(ms(15));
+  // Mid-contention: the first release handed the slot to a queued waiter, so
+  // the entry must survive eviction.
+  EXPECT_EQ(lm.tracked_mutexes(), 1u);
+  EXPECT_EQ(lm.held_count(), 1u);
+  EXPECT_TRUE(lm.is_locked(key));
+  sim.run_until();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[2], 30.0);  // strict serialization preserved
+  EXPECT_EQ(lm.tracked_mutexes(), 0u);
+  EXPECT_FALSE(lm.is_locked(key));
+}
+
+TEST(LockManagerTest, ConstAccessorsWorkOnConstManager) {
+  Simulator sim;
+  LockManager lm{sim};
+  const LockManager& clm = lm;
+  EXPECT_FALSE(clm.is_locked({"Item", 1}));
+  EXPECT_EQ(clm.held_count(), 0u);
+  EXPECT_EQ(clm.tracked_mutexes(), 0u);
+}
+
+TEST(LockManagerTest, ReleaseWithoutAcquireThrows) {
+  Simulator sim;
+  LockManager lm{sim};
+  EXPECT_THROW(lm.release({"Item", 42}), std::logic_error);
+}
+
 }  // namespace
 }  // namespace mutsvc::comp

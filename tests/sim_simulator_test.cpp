@@ -77,7 +77,7 @@ TEST(SimulatorTest, HandlerCanScheduleMoreEvents) {
 
 // --- coroutines ------------------------------------------------------------
 
-Task<void> wait_twice(Simulator& sim, std::vector<double>& log) {
+[[nodiscard]] Task<void> wait_twice(Simulator& sim, std::vector<double>& log) {
   co_await sim.wait(ms(10));
   log.push_back(sim.now().as_millis());
   co_await sim.wait(ms(15));
@@ -94,12 +94,12 @@ TEST(CoroutineTest, SpawnedTaskAdvancesThroughWaits) {
   EXPECT_DOUBLE_EQ(log[1], 25.0);
 }
 
-Task<int> returns_value(Simulator& sim) {
+[[nodiscard]] Task<int> returns_value(Simulator& sim) {
   co_await sim.wait(ms(1));
   co_return 42;
 }
 
-Task<void> awaits_child(Simulator& sim, int& out) {
+[[nodiscard]] Task<void> awaits_child(Simulator& sim, int& out) {
   out = co_await returns_value(sim);
 }
 
@@ -111,7 +111,7 @@ TEST(CoroutineTest, ChildTaskReturnValue) {
   EXPECT_EQ(out, 42);
 }
 
-Task<int> deep(Simulator& sim, int depth) {
+[[nodiscard]] Task<int> deep(Simulator& sim, int depth) {
   if (depth == 0) co_return 1;
   co_await sim.wait(us(1));
   int sub = co_await deep(sim, depth - 1);
@@ -127,12 +127,12 @@ TEST(CoroutineTest, DeeplyNestedTasks) {
   EXPECT_EQ(sim.now(), SimTime::origin() + us(100));
 }
 
-Task<void> throws_after_wait(Simulator& sim) {
+[[nodiscard]] Task<void> throws_after_wait(Simulator& sim) {
   co_await sim.wait(ms(1));
   throw std::runtime_error("boom");
 }
 
-Task<void> catches_child(Simulator& sim, std::string& msg) {
+[[nodiscard]] Task<void> catches_child(Simulator& sim, std::string& msg) {
   try {
     co_await throws_after_wait(sim);
   } catch (const std::runtime_error& e) {

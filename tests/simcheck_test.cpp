@@ -1,0 +1,290 @@
+// SimCheck runtime-sanitizer coverage: every detector must catch its
+// deliberately-buggy fixture, stay quiet on correct code, and a sanitized
+// benchmark run must follow the exact same trajectory as an uninstrumented
+// one (§4.3 zero staleness included).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/petstore/petstore.hpp"
+#include "component/locks.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "sim/simcheck.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace mutsvc {
+namespace {
+
+using comp::LockManager;
+using sim::Simulator;
+
+/// Enables the sanitizer for one test and restores the disabled default.
+struct SimCheckScope {
+  SimCheckScope() {
+    simcheck::reset();
+    simcheck::set_enabled(true);
+  }
+  ~SimCheckScope() {
+    simcheck::set_enabled(false);
+    simcheck::reset();
+  }
+};
+
+// --- deadlock detector ---------------------------------------------------------
+
+TEST(SimCheckDeadlock, CatchesAbBaCycleAtAcquireTime) {
+  SimCheckScope guard;
+  Simulator sim;
+  LockManager locks{sim};
+  const LockManager::Key a{"Item", 1};
+  const LockManager::Key b{"Item", 2};
+
+  bool caught = false;
+  // Planted bug: two transactions take the same two locks in opposite
+  // order, yielding in between — the classic AB/BA deadlock.
+  sim.spawn([](Simulator& s, LockManager& lm, LockManager::Key first, LockManager::Key second,
+               bool* flag) -> sim::Task<void> {
+    const simcheck::ActorId me = simcheck::anonymous_actor();
+    co_await lm.acquire(first, me);
+    co_await s.wait(sim::ms(1));
+    try {
+      co_await lm.acquire(second, me);
+    } catch (const simcheck::SimCheckError&) {
+      *flag = true;
+      lm.release(first);
+    }
+  }(sim, locks, a, b, &caught));
+  sim.spawn([](Simulator& s, LockManager& lm, LockManager::Key first, LockManager::Key second,
+               bool* flag) -> sim::Task<void> {
+    const simcheck::ActorId me = simcheck::anonymous_actor();
+    co_await lm.acquire(first, me);
+    co_await s.wait(sim::ms(1));
+    try {
+      co_await lm.acquire(second, me);
+    } catch (const simcheck::SimCheckError&) {
+      *flag = true;
+      lm.release(first);
+    }
+  }(sim, locks, b, a, &caught));
+  sim.run_until();
+
+  EXPECT_TRUE(caught);
+  EXPECT_GE(simcheck::report().deadlocks, 1u);
+}
+
+TEST(SimCheckDeadlock, CatchesReentrantSelfDeadlock) {
+  SimCheckScope guard;
+  Simulator sim;
+  LockManager locks{sim};
+  const LockManager::Key k{"Item", 7};
+
+  bool caught = false;
+  sim.spawn([](LockManager& lm, LockManager::Key key, bool* flag) -> sim::Task<void> {
+    const simcheck::ActorId me = simcheck::anonymous_actor();
+    co_await lm.acquire(key, me);
+    try {
+      co_await lm.acquire(key, me);  // bug: FIFO mutex would hang forever
+    } catch (const simcheck::SimCheckError&) {
+      *flag = true;
+    }
+    lm.release(key);
+  }(locks, k, &caught));
+  sim.run_until();
+
+  EXPECT_TRUE(caught);
+  EXPECT_GE(simcheck::report().deadlocks, 1u);
+}
+
+TEST(SimCheckDeadlock, ContendedButOrderedLockingIsClean) {
+  SimCheckScope guard;
+  Simulator sim;
+  LockManager locks{sim};
+  const LockManager::Key a{"Item", 1};
+  const LockManager::Key b{"Item", 2};
+
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Simulator& s, LockManager& lm, LockManager::Key first,
+                 LockManager::Key second) -> sim::Task<void> {
+      const simcheck::ActorId me = simcheck::anonymous_actor();
+      co_await lm.acquire(first, me);
+      co_await s.wait(sim::ms(1));
+      co_await lm.acquire(second, me);
+      lm.release(second);
+      lm.release(first);
+    }(sim, locks, a, b));
+  }
+  sim.run_until();
+
+  EXPECT_EQ(simcheck::report().total(), 0u);
+  EXPECT_EQ(locks.held_count(), 0u);
+}
+
+// --- lock-order inversion ------------------------------------------------------
+
+TEST(SimCheckLockOrder, RecordsInversionWithoutActualCycle) {
+  SimCheckScope guard;
+  Simulator sim;
+  LockManager locks{sim};
+  const LockManager::Key a{"Item", 1};
+  const LockManager::Key b{"Item", 2};
+
+  // Sequential (never concurrent, so no cycle): one transaction takes A
+  // then B, a later one takes B then A. The order graph still proves the
+  // potential deadlock.
+  sim.spawn([](LockManager& lm, LockManager::Key first, LockManager::Key second)
+                -> sim::Task<void> {
+    const simcheck::ActorId me = simcheck::anonymous_actor();
+    co_await lm.acquire(first, me);
+    co_await lm.acquire(second, me);
+    lm.release(second);
+    lm.release(first);
+  }(locks, a, b));
+  sim.run_until();
+  sim.spawn([](LockManager& lm, LockManager::Key first, LockManager::Key second)
+                -> sim::Task<void> {
+    const simcheck::ActorId me = simcheck::anonymous_actor();
+    co_await lm.acquire(first, me);
+    co_await lm.acquire(second, me);
+    lm.release(second);
+    lm.release(first);
+  }(locks, b, a));
+  sim.run_until();
+
+  EXPECT_EQ(simcheck::report().deadlocks, 0u);
+  EXPECT_EQ(simcheck::report().lock_order_inversions, 1u);
+}
+
+// --- write-overlap detector ----------------------------------------------------
+
+TEST(SimCheckWriteOverlap, FlagsUnlockedConcurrentWritesToSameKey) {
+  SimCheckScope guard;
+  Simulator sim;
+
+  // Planted bug: two coroutines mutate "Item:5" across suspension points
+  // without holding its lock.
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Simulator& s) -> sim::Task<void> {
+      const simcheck::ActorId me = simcheck::anonymous_actor();
+      simcheck::WriteGuard span(me, "Item:5", /*holds_lock=*/false);
+      co_await s.wait(sim::ms(2));
+    }(sim));
+  }
+  sim.run_until();
+
+  EXPECT_GE(simcheck::report().write_overlaps, 1u);
+}
+
+TEST(SimCheckWriteOverlap, LockedWritersAndDistinctKeysAreClean) {
+  SimCheckScope guard;
+  Simulator sim;
+
+  sim.spawn([](Simulator& s) -> sim::Task<void> {
+    const simcheck::ActorId me = simcheck::anonymous_actor();
+    simcheck::WriteGuard span(me, "Item:5", /*holds_lock=*/true);
+    co_await s.wait(sim::ms(2));
+  }(sim));
+  sim.spawn([](Simulator& s) -> sim::Task<void> {
+    const simcheck::ActorId me = simcheck::anonymous_actor();
+    simcheck::WriteGuard span(me, "Item:6", /*holds_lock=*/false);
+    co_await s.wait(sim::ms(2));
+  }(sim));
+  // Same key but both hold the (conceptual) lock: the lock layer already
+  // serializes them, so concurrent spans cannot both be lock-holders in a
+  // correct run; two locked spans are treated as serialized.
+  sim.run_until();
+
+  EXPECT_EQ(simcheck::report().write_overlaps, 0u);
+}
+
+// --- exactly-once probe --------------------------------------------------------
+
+TEST(SimCheckExactlyOnce, SecondExecutionForOneCallIdHardFails) {
+  SimCheckScope guard;
+  const std::uint64_t id = simcheck::begin_rmi_call();
+  simcheck::on_server_execution(id);  // first execution: fine
+  EXPECT_THROW(simcheck::on_server_execution(id), simcheck::SimCheckError);
+  EXPECT_EQ(simcheck::report().double_executions, 1u);
+
+  // A different call id is independent.
+  const std::uint64_t other = simcheck::begin_rmi_call();
+  EXPECT_NO_THROW(simcheck::on_server_execution(other));
+}
+
+// --- zero-staleness probe ------------------------------------------------------
+
+TEST(SimCheckStaleness, StaleReadUnderBlockingPushHardFails) {
+  SimCheckScope guard;
+  EXPECT_NO_THROW(simcheck::probe_zero_staleness(0, /*invariant_applies=*/true));
+  EXPECT_NO_THROW(simcheck::probe_zero_staleness(3, /*invariant_applies=*/false));
+  EXPECT_THROW(simcheck::probe_zero_staleness(1, /*invariant_applies=*/true),
+               simcheck::SimCheckError);
+  EXPECT_EQ(simcheck::report().stale_read_violations, 1u);
+}
+
+// --- disabled sanitizer is inert ----------------------------------------------
+
+TEST(SimCheckDisabled, ProbesAreNoOpsWhenOff) {
+  simcheck::reset();
+  simcheck::set_enabled(false);
+  EXPECT_FALSE(simcheck::enabled());
+  // Instrumented call sites gate on enabled(); WriteGuard must also be inert.
+  {
+    simcheck::WriteGuard span(1, "Item:1", false);
+    simcheck::WriteGuard span2(2, "Item:1", false);
+  }
+  EXPECT_EQ(simcheck::report().total(), 0u);
+}
+
+// --- full seeded run under the sanitizer ---------------------------------------
+
+struct RunStats {
+  std::uint64_t samples = 0;
+  std::uint64_t stale_reads = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t executed_events = 0;
+  std::uint64_t rmi_calls = 0;
+  double mean_ms = 0.0;
+
+  bool operator==(const RunStats&) const = default;
+};
+
+RunStats run_blocking_push_experiment(bool sanitize) {
+  simcheck::reset();
+  simcheck::set_enabled(sanitize);
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.level = core::ConfigLevel::kStatefulComponentCaching;  // blocking push
+  spec.duration = sim::sec(120);
+  spec.warmup = sim::sec(10);
+  spec.seed = 7;
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  exp.run();
+
+  RunStats out;
+  out.samples = exp.results().total_samples();
+  out.stale_reads = exp.runtime().consistency().stale_reads();
+  out.reads = exp.runtime().consistency().reads();
+  out.executed_events = exp.simulator().executed_events();
+  out.rmi_calls = exp.rmi().calls();
+  out.mean_ms = exp.results().pattern_mean_ms("Browser", stats::ClientGroup::kRemote);
+  simcheck::set_enabled(false);
+  simcheck::reset();
+  return out;
+}
+
+TEST(SimCheckEndToEnd, SanitizedBlockingPushRunIsCleanAndBitIdentical) {
+  const RunStats plain = run_blocking_push_experiment(false);
+  const RunStats sanitized = run_blocking_push_experiment(true);
+
+  // §4.3: zero staleness under blocking push — enforced, not sampled.
+  EXPECT_EQ(sanitized.stale_reads, 0u);
+  EXPECT_GT(sanitized.reads, 0u);
+  // The sanitizer observes; it must not perturb the trajectory.
+  EXPECT_EQ(plain, sanitized);
+}
+
+}  // namespace
+}  // namespace mutsvc

@@ -1,0 +1,237 @@
+// simlint rule coverage: each determinism / coroutine-hazard rule must
+// catch its deliberately-buggy fixture and stay quiet on the idiomatic
+// equivalent; the suppression syntax must work at line and file scope.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "simlint/lint.hpp"
+
+namespace {
+
+using simlint::Finding;
+using simlint::lint_source;
+
+std::size_t count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+int line_of(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return f.line;
+  }
+  return -1;
+}
+
+// --- wall-clock ----------------------------------------------------------------
+
+TEST(SimlintWallClock, FlagsSystemClockOutsideSimTime) {
+  const auto f = lint_source("src/apps/foo.cpp",
+                             "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_EQ(count_rule(f, "wall-clock"), 1u);
+  EXPECT_EQ(f[0].line, 1);
+}
+
+TEST(SimlintWallClock, ExemptsSimTimeHeader) {
+  const auto f = lint_source("src/sim/time.hpp", "using clk = std::chrono::steady_clock;\n");
+  EXPECT_EQ(count_rule(f, "wall-clock"), 0u);
+}
+
+TEST(SimlintWallClock, IgnoresTokensInStringsAndComments) {
+  const auto f = lint_source("src/a.cpp",
+                             "// system_clock is banned\n"
+                             "const char* s = \"steady_clock\";\n");
+  EXPECT_EQ(count_rule(f, "wall-clock"), 0u);
+}
+
+// --- raw-random ----------------------------------------------------------------
+
+TEST(SimlintRawRandom, FlagsRandomDeviceAndRand) {
+  const auto f = lint_source("src/a.cpp",
+                             "std::random_device rd;\n"
+                             "int x = rand();\n"
+                             "std::mt19937 gen(42);\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 3u);
+}
+
+TEST(SimlintRawRandom, ExemptsSimRandomHeader) {
+  const auto f = lint_source("src/sim/random.hpp", "std::mt19937_64 engine_;\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 0u);
+}
+
+TEST(SimlintRawRandom, WordBoundaryPreventsFalsePositives) {
+  // "strand()" contains "rand(" but is not a call to rand.
+  const auto f = lint_source("src/a.cpp", "io.strand();\nint operand(int);\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 0u);
+}
+
+// --- unordered-iter ------------------------------------------------------------
+
+TEST(SimlintUnorderedIter, FlagsRangeForOverUnorderedMember) {
+  const auto f = lint_source("src/a.hpp",
+                             "std::unordered_map<std::string, int> counts_;\n"
+                             "void dump() {\n"
+                             "  for (const auto& [k, v] : counts_) {\n"
+                             "  }\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "unordered-iter"), 1u);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(SimlintUnorderedIter, FlagsIteratorLoop) {
+  const auto f = lint_source("src/a.hpp",
+                             "std::unordered_set<int> live_;\n"
+                             "void sweep() {\n"
+                             "  for (auto it = live_.begin(); it != live_.end();) {\n"
+                             "  }\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "unordered-iter"), 1u);
+}
+
+TEST(SimlintUnorderedIter, OrderedMapIsFine) {
+  const auto f = lint_source("src/a.hpp",
+                             "std::map<std::string, int> counts_;\n"
+                             "void dump() {\n"
+                             "  for (const auto& [k, v] : counts_) {\n"
+                             "  }\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "unordered-iter"), 0u);
+}
+
+TEST(SimlintUnorderedIter, LookupsAreFine) {
+  const auto f = lint_source("src/a.hpp",
+                             "std::unordered_map<std::string, int> counts_;\n"
+                             "int get(const std::string& k) { return counts_.at(k); }\n");
+  EXPECT_EQ(count_rule(f, "unordered-iter"), 0u);
+}
+
+// --- lost-task -----------------------------------------------------------------
+
+TEST(SimlintLostTask, FlagsTaskNeverAwaited) {
+  const auto f = lint_source("src/a.cpp",
+                             "sim::Task<void> run() {\n"
+                             "  sim::Task<void> t = step();\n"
+                             "  co_return;\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "lost-task"), 1u);
+  EXPECT_EQ(line_of(f, "lost-task"), 2);
+}
+
+TEST(SimlintLostTask, AwaitedTaskIsFine) {
+  const auto f = lint_source("src/a.cpp",
+                             "sim::Task<void> run() {\n"
+                             "  sim::Task<void> t = step();\n"
+                             "  co_await t;\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "lost-task"), 0u);
+}
+
+TEST(SimlintLostTask, MovedOrSpawnedTaskIsFine) {
+  const auto moved = lint_source("src/a.cpp",
+                                 "void run() {\n"
+                                 "  sim::Task<void> t = step();\n"
+                                 "  sim.spawn(std::move(t));\n"
+                                 "}\n");
+  EXPECT_EQ(count_rule(moved, "lost-task"), 0u);
+  const auto released = lint_source("src/b.cpp",
+                                    "void run() {\n"
+                                    "  sim::Task<void> t = step();\n"
+                                    "  auto h = t.release();\n"
+                                    "}\n");
+  EXPECT_EQ(count_rule(released, "lost-task"), 0u);
+}
+
+// --- lock-balance --------------------------------------------------------------
+
+TEST(SimlintLockBalance, FlagsAcquireWithoutAnyRelease) {
+  const auto f = lint_source("src/a.cpp",
+                             "sim::Task<void> f(sim::SimMutex& m) {\n"
+                             "  co_await m.acquire();\n"
+                             "  co_return;\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "lock-balance"), 1u);
+  EXPECT_EQ(line_of(f, "lock-balance"), 2);
+}
+
+TEST(SimlintLockBalance, BalancedFileIsFine) {
+  const auto f = lint_source("src/a.cpp",
+                             "sim::Task<void> f(sim::SimMutex& m) {\n"
+                             "  co_await m.acquire();\n"
+                             "  m.release();\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "lock-balance"), 0u);
+}
+
+// --- nodiscard-task ------------------------------------------------------------
+
+TEST(SimlintNodiscardTask, FlagsUnattributedDeclaration) {
+  const auto f = lint_source("src/a.hpp", "sim::Task<void> refresh(int pk);\n");
+  EXPECT_EQ(count_rule(f, "nodiscard-task"), 1u);
+}
+
+TEST(SimlintNodiscardTask, AttributedDeclarationIsFine) {
+  const auto same = lint_source("src/a.hpp", "[[nodiscard]] sim::Task<void> refresh(int pk);\n");
+  EXPECT_EQ(count_rule(same, "nodiscard-task"), 0u);
+  const auto prev = lint_source("src/b.hpp",
+                                "[[nodiscard]]\n"
+                                "sim::Task<void> refresh(int pk);\n");
+  EXPECT_EQ(count_rule(prev, "nodiscard-task"), 0u);
+}
+
+TEST(SimlintNodiscardTask, SkipsLambdaReturnTypesAndOutOfLineDefinitions) {
+  const auto lambda = lint_source("src/a.cpp", "auto f = [&]() -> sim::Task<int> { co_return 1; };\n");
+  EXPECT_EQ(count_rule(lambda, "nodiscard-task"), 0u);
+  const auto defn = lint_source("src/b.cpp", "sim::Task<void> Runtime::push(int x) {\n}\n");
+  EXPECT_EQ(count_rule(defn, "nodiscard-task"), 0u);
+}
+
+// --- suppressions --------------------------------------------------------------
+
+TEST(SimlintSuppression, SameLineAllow) {
+  const auto f = lint_source("src/a.cpp", "int x = rand();  // simlint:allow(raw-random)\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 0u);
+}
+
+TEST(SimlintSuppression, PrecedingLineAllow) {
+  const auto f = lint_source("src/a.cpp",
+                             "// simlint:allow(raw-random)\n"
+                             "int x = rand();\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 0u);
+}
+
+TEST(SimlintSuppression, AllowOnlySilencesNamedRule) {
+  const auto f = lint_source("src/a.cpp",
+                             "// simlint:allow(wall-clock)\n"
+                             "int x = rand();\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 1u);
+}
+
+TEST(SimlintSuppression, FileWideAllow) {
+  const auto f = lint_source("src/a.cpp",
+                             "// simlint:allow-file(raw-random)\n"
+                             "int x = rand();\n"
+                             "int y = rand();\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 0u);
+}
+
+// --- output formats ------------------------------------------------------------
+
+TEST(SimlintOutput, JsonReportIsMachineReadable) {
+  const auto f = lint_source("src/a.cpp", "int x = rand();\n");
+  std::ostringstream os;
+  simlint::print_json(os, f);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"rule\": \"raw-random\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\": 1"), std::string::npos);
+  EXPECT_EQ(out.front(), '[');
+}
+
+TEST(SimlintOutput, RuleListingIsComplete) {
+  const auto& rules = simlint::rules();
+  EXPECT_EQ(rules.size(), 6u);
+}
+
+}  // namespace

@@ -20,7 +20,7 @@ class FakeExecutor final : public RequestExecutor {
  public:
   FakeExecutor(Simulator& sim, Duration latency) : sim_(sim), latency_(latency) {}
 
-  Task<bool> execute(net::NodeId, const PageRequest& req) override {
+  [[nodiscard]] Task<bool> execute(net::NodeId, const PageRequest& req) override {
     ++requests_;
     pages_[req.page]++;
     patterns_[req.pattern]++;

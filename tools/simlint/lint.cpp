@@ -1,0 +1,603 @@
+#include "simlint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace simlint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool qual_char(char c) { return ident_char(c) || c == ':'; }
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Splits `src` into lines twice: verbatim, and with comments plus
+/// string/char literal *contents* blanked to spaces (so tokens inside them
+/// never match). Line structure is preserved exactly.
+void split_and_blank(const std::string& src, std::vector<std::string>& raw,
+                     std::vector<std::string>& code) {
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  St st = St::kCode;
+  std::string raw_delim;  // raw string closing delimiter: )DELIM"
+  std::string rline, cline;
+  auto flush = [&] {
+    raw.push_back(rline);
+    code.push_back(cline);
+    rline.clear();
+    cline.clear();
+  };
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLineComment) st = St::kCode;
+      flush();
+      continue;
+    }
+    rline.push_back(c);
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          cline.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          cline.push_back(' ');
+        } else if (c == '"') {
+          // R"delim( ... )delim" — only when R directly precedes the quote.
+          if (i > 0 && src[i - 1] == 'R' && (i < 2 || !ident_char(src[i - 2]))) {
+            std::size_t p = i + 1;
+            std::string delim;
+            while (p < src.size() && src[p] != '(' && src[p] != '\n') delim.push_back(src[p++]);
+            raw_delim = ")" + delim + "\"";
+            st = St::kRawString;
+          } else {
+            st = St::kString;
+          }
+          cline.push_back('"');
+        } else if (c == '\'' && !(i > 0 && ident_char(src[i - 1]))) {
+          // Skip digit separators (1'000'000): a quote after an identifier
+          // character is not a char literal.
+          st = St::kChar;
+          cline.push_back('\'');
+        } else {
+          cline.push_back(c);
+        }
+        break;
+      case St::kLineComment:
+        cline.push_back(' ');
+        break;
+      case St::kBlockComment:
+        cline.push_back(' ');
+        if (c == '/' && i > 0 && src[i - 1] == '*') st = St::kCode;
+        break;
+      case St::kString:
+        if (c == '\\') {
+          cline.push_back(' ');
+          if (next != '\0' && next != '\n') {
+            rline.push_back(next);
+            cline.push_back(' ');
+            ++i;
+          }
+        } else if (c == '"') {
+          cline.push_back('"');
+          st = St::kCode;
+        } else {
+          cline.push_back(' ');
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          cline.push_back(' ');
+          if (next != '\0' && next != '\n') {
+            rline.push_back(next);
+            cline.push_back(' ');
+            ++i;
+          }
+        } else if (c == '\'') {
+          cline.push_back('\'');
+          st = St::kCode;
+        } else {
+          cline.push_back(' ');
+        }
+        break;
+      case St::kRawString:
+        cline.push_back(' ');
+        if (c == '"' && rline.size() >= raw_delim.size() &&
+            rline.compare(rline.size() - raw_delim.size(), raw_delim.size(), raw_delim) == 0) {
+          st = St::kCode;
+        }
+        break;
+    }
+  }
+  flush();
+}
+
+/// Whole-identifier search. `ident` may be qualified ("std::time"); when
+/// `require_call`, the match must be followed by '(' (after spaces).
+bool has_token(const std::string& line, const std::string& ident, bool require_call) {
+  std::size_t pos = 0;
+  while ((pos = line.find(ident, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    std::size_t end = pos + ident.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) {
+      if (!require_call) return true;
+      while (end < line.size() && (line[end] == ' ' || line[end] == '\t')) ++end;
+      if (end < line.size() && line[end] == '(') return true;
+    }
+    pos += ident.size();
+  }
+  return false;
+}
+
+struct FileCtx {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::set<std::string> file_allowed;
+  std::vector<std::set<std::string>> line_allowed;
+
+  [[nodiscard]] bool allowed(int line, const std::string& rule) const {
+    auto in = [&](const std::set<std::string>& s) {
+      return s.count(rule) != 0 || s.count("*") != 0;
+    };
+    if (in(file_allowed)) return true;
+    auto at = [&](int l) {
+      return l >= 1 && l <= static_cast<int>(line_allowed.size()) && in(line_allowed[l - 1]);
+    };
+    return at(line) || at(line - 1);
+  }
+
+  [[nodiscard]] bool path_contains(const std::string& suffix) const {
+    return path.find(suffix) != std::string::npos;
+  }
+};
+
+void parse_allows(FileCtx& ctx) {
+  ctx.line_allowed.resize(ctx.raw.size());
+  for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
+    const std::string& line = ctx.raw[i];
+    for (const char* marker : {"simlint:allow-file(", "simlint:allow("}) {
+      std::size_t pos = line.find(marker);
+      if (pos == std::string::npos) continue;
+      pos += std::string(marker).size();
+      std::size_t close = line.find(')', pos);
+      if (close == std::string::npos) continue;
+      std::istringstream rules_in(line.substr(pos, close - pos));
+      std::string rule;
+      const bool file_wide = std::string(marker).find("allow-file") != std::string::npos;
+      while (std::getline(rules_in, rule, ',')) {
+        rule = trim(rule);
+        if (rule.empty()) continue;
+        if (file_wide) {
+          ctx.file_allowed.insert(rule);
+        } else {
+          ctx.line_allowed[i].insert(rule);
+        }
+      }
+    }
+  }
+}
+
+void add_finding(std::vector<Finding>& out, const FileCtx& ctx, int line, const std::string& rule,
+                 std::string message) {
+  if (ctx.allowed(line, rule)) return;
+  out.push_back(Finding{ctx.path, line, rule, std::move(message)});
+}
+
+// --- rule: wall-clock --------------------------------------------------------
+
+void rule_wall_clock(const FileCtx& ctx, std::vector<Finding>& out) {
+  if (ctx.path_contains("sim/time.hpp")) return;
+  struct Tok {
+    const char* t;
+    bool call;
+  };
+  static const Tok kTokens[] = {{"system_clock", false},  {"steady_clock", false},
+                                {"high_resolution_clock", false},
+                                {"gettimeofday", true},   {"clock_gettime", true},
+                                {"timespec_get", true},   {"std::time", true}};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    for (const Tok& tok : kTokens) {
+      if (has_token(ctx.code[i], tok.t, tok.call)) {
+        add_finding(out, ctx, static_cast<int>(i + 1), "wall-clock",
+                    std::string("wall-clock time source '") + tok.t +
+                        "' — simulated code must use Simulator::now()");
+      }
+    }
+  }
+}
+
+// --- rule: raw-random --------------------------------------------------------
+
+void rule_raw_random(const FileCtx& ctx, std::vector<Finding>& out) {
+  if (ctx.path_contains("sim/random.hpp")) return;
+  struct Tok {
+    const char* t;
+    bool call;
+  };
+  static const Tok kTokens[] = {{"random_device", false}, {"mt19937", false},
+                                {"mt19937_64", false},    {"minstd_rand", false},
+                                {"drand48", true},        {"lrand48", true},
+                                {"random_shuffle", false}, {"rand", true},
+                                {"srand", true}};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    for (const Tok& tok : kTokens) {
+      if (has_token(ctx.code[i], tok.t, tok.call)) {
+        add_finding(out, ctx, static_cast<int>(i + 1), "raw-random",
+                    std::string("raw randomness '") + tok.t +
+                        "' — draw from a named sim::RngStream instead");
+      }
+    }
+  }
+}
+
+// --- rule: unordered-iter ----------------------------------------------------
+
+/// Names of variables declared (on one line) with an unordered container
+/// type in this file.
+std::set<std::string> unordered_names(const FileCtx& ctx) {
+  static const char* kTypes[] = {"unordered_map<", "unordered_multimap<", "unordered_set<",
+                                 "unordered_multiset<"};
+  std::set<std::string> names;
+  for (const std::string& line : ctx.code) {
+    for (const char* type : kTypes) {
+      std::size_t pos = line.find(type);
+      while (pos != std::string::npos) {
+        std::size_t p = pos + std::string(type).size() - 1;  // at '<'
+        int depth = 0;
+        while (p < line.size()) {
+          if (line[p] == '<') ++depth;
+          if (line[p] == '>') {
+            --depth;
+            if (depth == 0) break;
+          }
+          ++p;
+        }
+        if (p < line.size() && depth == 0) {
+          ++p;  // past '>'
+          while (p < line.size() &&
+                 (line[p] == ' ' || line[p] == '&' || line[p] == '*')) {
+            ++p;
+          }
+          std::string name;
+          while (p < line.size() && ident_char(line[p])) name.push_back(line[p++]);
+          if (!name.empty() && name != "const") names.insert(name);
+        }
+        pos = line.find(type, pos + 1);
+      }
+    }
+  }
+  return names;
+}
+
+void rule_unordered_iter(const FileCtx& ctx, std::vector<Finding>& out) {
+  const std::set<std::string> names = unordered_names(ctx);
+  if (names.empty()) return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    if (!has_token(line, "for", false)) continue;
+    // Range-for: extract the expression between ':' and the closing ')'.
+    std::size_t open = line.find('(', line.find("for"));
+    if (open != std::string::npos) {
+      int depth = 0;
+      std::size_t colon = std::string::npos, close = std::string::npos;
+      for (std::size_t p = open; p < line.size(); ++p) {
+        if (line[p] == '(') ++depth;
+        if (line[p] == ')') {
+          --depth;
+          if (depth == 0) {
+            close = p;
+            break;
+          }
+        }
+        if (line[p] == ':' && depth == 1 && colon == std::string::npos &&
+            (p + 1 >= line.size() || line[p + 1] != ':') && (p == 0 || line[p - 1] != ':')) {
+          colon = p;
+        }
+      }
+      if (colon != std::string::npos && close != std::string::npos && close > colon) {
+        std::string expr = trim(line.substr(colon + 1, close - colon - 1));
+        while (!expr.empty() && (expr.front() == '*' || expr.front() == '&')) {
+          expr.erase(expr.begin());
+        }
+        if (names.count(expr) != 0) {
+          add_finding(out, ctx, static_cast<int>(i + 1), "unordered-iter",
+                      "iteration over unordered container '" + expr +
+                          "' — order is unspecified and can leak into results");
+        }
+      }
+    }
+    // Iterator-style: for (auto it = name.begin(); ...
+    for (const std::string& name : names) {
+      if (line.find(name + ".begin()") != std::string::npos ||
+          line.find(name + ".cbegin()") != std::string::npos) {
+        add_finding(out, ctx, static_cast<int>(i + 1), "unordered-iter",
+                    "iteration over unordered container '" + name +
+                        "' — order is unspecified and can leak into results");
+      }
+    }
+  }
+}
+
+// --- rules: lost-task / nodiscard-task ---------------------------------------
+
+/// Locates a `Task<` occurrence and expands it to the full qualified name
+/// start (e.g. the 's' of "sim::Task"). Returns npos when none.
+std::size_t find_task(const std::string& line, std::size_t from, std::size_t* name_begin) {
+  std::size_t pos = line.find("Task<", from);
+  while (pos != std::string::npos) {
+    std::size_t begin = pos;
+    while (begin > 0 && qual_char(line[begin - 1])) --begin;
+    // The qualified token must end in "Task" (not e.g. "MyTask"-unlikely but
+    // accept it: anything ending in Task is a coroutine task by convention
+    // in this codebase).
+    if (begin == pos || line.compare(begin, pos - begin, "sim::") == 0 ||
+        line.rfind("::", pos) == pos - 2 || !ident_char(line[pos - 1])) {
+      *name_begin = begin;
+      return pos;
+    }
+    pos = line.find("Task<", pos + 1);
+  }
+  return std::string::npos;
+}
+
+/// From '<' at `open`, returns the index just past the matching '>', or npos.
+std::size_t skip_template_args(const std::string& line, std::size_t open) {
+  int depth = 0;
+  for (std::size_t p = open; p < line.size(); ++p) {
+    if (line[p] == '<') ++depth;
+    if (line[p] == '>') {
+      --depth;
+      if (depth == 0) return p + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+bool contains_any(const std::string& s, std::initializer_list<const char*> words) {
+  for (const char* w : words) {
+    if (has_token(s, w, false)) return true;
+  }
+  return false;
+}
+
+void rule_lost_task(const FileCtx& ctx, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    std::size_t name_begin = 0;
+    std::size_t pos = find_task(line, 0, &name_begin);
+    if (pos == std::string::npos) continue;
+    const std::string before = line.substr(0, name_begin);
+    if (contains_any(before, {"return", "co_return", "co_await", "using", "typedef", "class",
+                              "struct", "template", "friend"})) {
+      continue;
+    }
+    if (before.find("->") != std::string::npos) continue;  // trailing return type
+    std::size_t after = skip_template_args(line, pos + 4);
+    if (after == std::string::npos) continue;
+    while (after < line.size() && (line[after] == ' ' || line[after] == '&')) ++after;
+    std::string name;
+    while (after < line.size() && ident_char(line[after])) name.push_back(line[after++]);
+    if (name.empty()) continue;
+    while (after < line.size() && line[after] == ' ') ++after;
+    // Variable with an initializer; `Task<..> name(...)` and bare `name;`
+    // declarations are skipped (function declarations look the same).
+    if (after >= line.size() || (line[after] != '=' && line[after] != '{')) continue;
+    // Used anywhere else (co_await t, std::move(t), t.release(), spawn arg)?
+    bool used = false;
+    for (std::size_t j = 0; j < ctx.code.size() && !used; ++j) {
+      if (j == i) {
+        // Same-line use after the initializer (e.g. `Task<void> t = f(); co_await t;`).
+        std::size_t p = line.find(';', after);
+        if (p != std::string::npos && has_token(line.substr(p), name, false)) used = true;
+        continue;
+      }
+      if (has_token(ctx.code[j], name, false)) used = true;
+    }
+    if (!used) {
+      add_finding(out, ctx, static_cast<int>(i + 1), "lost-task",
+                  "task '" + name +
+                      "' is created but never co_awaited, moved, released, or spawned — "
+                      "a lazy task that is dropped never runs");
+    }
+  }
+}
+
+void rule_nodiscard_task(const FileCtx& ctx, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    std::size_t name_begin = 0;
+    std::size_t pos = find_task(line, 0, &name_begin);
+    if (pos == std::string::npos) continue;
+    const std::string before = line.substr(0, name_begin);
+    if (contains_any(before, {"return", "co_return", "co_await", "using", "typedef", "class",
+                              "struct", "template", "friend", "operator", "throw"})) {
+      continue;
+    }
+    if (before.find("->") != std::string::npos) continue;  // lambda return type
+    if (before.find('(') != std::string::npos) continue;   // parameter / argument position
+    std::size_t after = skip_template_args(line, pos + 4);
+    if (after == std::string::npos) continue;
+    while (after < line.size() && (line[after] == ' ' || line[after] == '&')) ++after;
+    std::string name;
+    while (after < line.size() && ident_char(line[after])) name.push_back(line[after++]);
+    // Qualified definitions (Type::method) belong to a declaration checked
+    // at the declaration site.
+    if (after + 1 < line.size() && line[after] == ':' && line[after + 1] == ':') continue;
+    if (name.empty() || after >= line.size() || line[after] != '(') continue;
+    // A declaration: check [[nodiscard]] on this line (before the type) or
+    // the previous non-blank line.
+    if (before.find("[[nodiscard]]") != std::string::npos) continue;
+    bool prev_has = false;
+    for (std::size_t j = i; j > 0; --j) {
+      const std::string prev = trim(ctx.code[j - 1]);
+      if (prev.empty()) continue;
+      prev_has = prev.find("[[nodiscard]]") != std::string::npos &&
+                 prev.find(';') == std::string::npos && prev.find('}') == std::string::npos;
+      break;
+    }
+    if (prev_has) continue;
+    add_finding(out, ctx, static_cast<int>(i + 1), "nodiscard-task",
+                "Task-returning function '" + name +
+                    "' lacks [[nodiscard]] — discarding a lazy task silently drops the work");
+  }
+}
+
+// --- rule: lock-balance ------------------------------------------------------
+
+void rule_lock_balance(const FileCtx& ctx, std::vector<Finding>& out) {
+  std::vector<int> acquire_lines;
+  bool any_release = false;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    if (line.find(".acquire(") != std::string::npos ||
+        line.find("->acquire(") != std::string::npos) {
+      acquire_lines.push_back(static_cast<int>(i + 1));
+    }
+    if (has_token(line, "release", true) || has_token(line, "unlock", true)) {
+      any_release = true;
+    }
+  }
+  if (any_release) return;
+  for (int line : acquire_lines) {
+    add_finding(out, ctx, line, "lock-balance",
+                "lock acquired here but this file never calls release() — "
+                "no path can release it");
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"wall-clock", "wall-clock time source outside sim/time.hpp"},
+      {"raw-random", "ad-hoc randomness outside sim/random.hpp"},
+      {"unordered-iter", "iteration over an unordered container"},
+      {"lost-task", "sim::Task created but never awaited/moved/spawned"},
+      {"lock-balance", "acquire() with no release() anywhere in the file"},
+      {"nodiscard-task", "Task-returning declaration missing [[nodiscard]]"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_source(const std::string& path, const std::string& source) {
+  FileCtx ctx;
+  ctx.path = path;
+  split_and_blank(source, ctx.raw, ctx.code);
+  parse_allows(ctx);
+
+  std::vector<Finding> out;
+  rule_wall_clock(ctx, out);
+  rule_raw_random(ctx, out);
+  rule_unordered_iter(ctx, out);
+  rule_lost_task(ctx, out);
+  rule_lock_balance(ctx, out);
+  rule_nodiscard_task(ctx, out);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Finding{path, 0, "io-error", "cannot open file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str());
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  static const std::set<std::string> kExts = {".hpp", ".h", ".hh", ".cpp", ".cc", ".cxx"};
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (!entry.is_regular_file()) continue;
+        const fs::path& fp = entry.path();
+        if (kExts.count(fp.extension().string()) == 0) continue;
+        bool skip = false;
+        for (const auto& part : fp) {
+          const std::string s = part.string();
+          if (s == ".git" || s.rfind("build", 0) == 0) skip = true;
+        }
+        if (!skip) files.push_back(fp.string());
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> out;
+  for (const std::string& f : files) {
+    std::vector<Finding> ff = lint_file(f);
+    out.insert(out.end(), ff.begin(), ff.end());
+  }
+  return out;
+}
+
+void print_text(std::ostream& os, const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void print_json(std::ostream& os, const std::vector<Finding>& findings) {
+  os << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) os << ",";
+    os << "\n  {\"file\": \"" << json_escape(f.file) << "\", \"line\": " << f.line
+       << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
+       << json_escape(f.message) << "\"}";
+  }
+  os << (findings.empty() ? "]" : "\n]") << "\n";
+}
+
+}  // namespace simlint

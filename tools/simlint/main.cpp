@@ -1,0 +1,77 @@
+// simlint — determinism and coroutine-hazard lint for the mutsvc tree.
+//
+// Usage: simlint [options] <file-or-dir>...
+//   --json             print findings as a JSON array (machine-readable)
+//   --report <file>    also write the JSON report to <file>
+//   --list-rules       print the rule set and exit
+//   --quiet            suppress the findings listing (exit code only)
+//
+// Exit status: 0 when clean, 1 when findings remain, 2 on usage error.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "simlint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool json = false;
+  bool quiet = false;
+  std::string report_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--report") {
+      if (i + 1 >= argc) {
+        std::cerr << "simlint: --report needs a file argument\n";
+        return 2;
+      }
+      report_file = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const simlint::RuleInfo& r : simlint::rules()) {
+        std::cout << r.name << "\t" << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: simlint [--json] [--quiet] [--report <file>] [--list-rules] "
+                   "<file-or-dir>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "simlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "simlint: no files or directories given (try --help)\n";
+    return 2;
+  }
+
+  const std::vector<simlint::Finding> findings = simlint::lint_paths(paths);
+  if (!quiet) {
+    if (json) {
+      simlint::print_json(std::cout, findings);
+    } else {
+      simlint::print_text(std::cout, findings);
+      std::cout << (findings.empty() ? "simlint: clean\n"
+                                     : "simlint: " + std::to_string(findings.size()) +
+                                           " finding(s)\n");
+    }
+  }
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    if (!out) {
+      std::cerr << "simlint: cannot write report to " << report_file << "\n";
+      return 2;
+    }
+    simlint::print_json(out, findings);
+  }
+  return findings.empty() ? 0 : 1;
+}
