@@ -3,12 +3,14 @@
 // one edge server mid-run, and compares the middleware resilience layer
 // (RMI retry/timeout/circuit breaker + degraded edge reads + queued writes)
 // against the seed behavior (single attempt, failover only).
+#include <functional>
 #include <iostream>
 #include <vector>
 
 #include "apps/petstore/petstore.hpp"
 #include "core/calibration.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "stats/table.hpp"
 
 using namespace mutsvc;
@@ -93,26 +95,44 @@ int main() {
   const net::NodeId edge = probe_edge_node();
   const double losses[] = {0.0, 0.005, 0.02, 0.05};
 
+  // Every cell is an isolated (spec, seed) trial; fan the whole grid — plus
+  // the determinism pair — across the core::sweep worker pool. Results merge
+  // in submission order, so the table is identical to the serial loop.
+  struct Cell {
+    double loss;
+    bool resilient;
+  };
+  std::vector<Cell> cells;
+  std::vector<std::function<Outcome()>> trials;
+  for (double loss : losses) {
+    for (bool resilient : {false, true}) {
+      cells.push_back(Cell{loss, resilient});
+      trials.push_back([loss, resilient, edge] { return run(loss, resilient, edge); });
+    }
+  }
+  // Determinism spot check: the 2% resilient cell, twice with the same seed.
+  trials.push_back([edge] { return run(0.02, true, edge, 7); });
+  trials.push_back([edge] { return run(0.02, true, edge, 7); });
+
+  std::vector<Outcome> outcomes = core::sweep::run_trials(std::move(trials));
+
   stats::TextTable table{{"loss/link", "resilience", "success", "failed pages", "failovers",
                           "msgs lost", "RMI retries", "timeouts", "breaker open/rej",
                           "degraded reads", "queued writes", "remote browser mean (ms)"}};
-  for (double loss : losses) {
-    for (bool resilient : {false, true}) {
-      Outcome o = run(loss, resilient, edge);
-      table.add_row({pct(loss), resilient ? "on" : "off", pct(o.success),
-                     std::to_string(o.failures), std::to_string(o.failovers),
-                     std::to_string(o.lost), std::to_string(o.retries),
-                     std::to_string(o.timeouts),
-                     std::to_string(o.breaker_opens) + "/" + std::to_string(o.breaker_rejections),
-                     std::to_string(o.degraded_reads), std::to_string(o.queued_writes),
-                     stats::TextTable::cell_ms(o.remote_browser_ms)});
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    table.add_row({pct(cells[i].loss), cells[i].resilient ? "on" : "off", pct(o.success),
+                   std::to_string(o.failures), std::to_string(o.failovers),
+                   std::to_string(o.lost), std::to_string(o.retries),
+                   std::to_string(o.timeouts),
+                   std::to_string(o.breaker_opens) + "/" + std::to_string(o.breaker_rejections),
+                   std::to_string(o.degraded_reads), std::to_string(o.queued_writes),
+                   stats::TextTable::cell_ms(o.remote_browser_ms)});
   }
   table.print(std::cout);
 
-  // Determinism spot check: the 2% resilient cell, twice with the same seed.
-  Outcome a = run(0.02, true, edge, 7);
-  Outcome b = run(0.02, true, edge, 7);
+  const Outcome& a = outcomes[cells.size()];
+  const Outcome& b = outcomes[cells.size() + 1];
   const bool identical = a.failures == b.failures && a.lost == b.lost &&
                          a.retries == b.retries && a.degraded_reads == b.degraded_reads &&
                          a.success == b.success && a.remote_browser_ms == b.remote_browser_ms;

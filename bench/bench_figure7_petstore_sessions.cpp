@@ -16,6 +16,7 @@ int main() {
   bench::LadderRun run =
       bench::run_ladder(driver, core::petstore_calibration(), bench::base_spec());
   core::print_session_averages(std::cout, driver, run.results);
+  bench::maybe_write_ladder_json("petstore", run);
 
   std::cout << "\nPaper's Figure 7 (approximate bar heights, ms):\n"
             << "  Centralized:   LocalBrowser ~92  LocalBuyer ~92  RemoteBrowser ~490  "

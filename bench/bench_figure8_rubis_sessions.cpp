@@ -14,6 +14,7 @@ int main() {
   apps::AppDriver driver = app.driver();
   bench::LadderRun run = bench::run_ladder(driver, core::rubis_calibration(), bench::base_spec());
   core::print_session_averages(std::cout, driver, run.results);
+  bench::maybe_write_ladder_json("rubis", run);
 
   std::cout << "\nPaper's Figure 8 (approximate bar heights, ms):\n"
             << "  Centralized:   LocalBrowser ~30  LocalBidder ~25  RemoteBrowser ~440  "

@@ -1,0 +1,152 @@
+// Wall-clock microbenchmark of the simulation kernel and the DB hot path.
+//
+// Establishes the repo's perf trajectory: results land in BENCH_kernel.json
+// (override with MUTSVC_BENCH_JSON) and CI's perf-smoke job fails on a >25%
+// events/sec regression against the checked-in baseline via tools/benchstat.
+//
+// Workloads:
+//  - kernel.coroutine_timer: the event-loop hot path — many coroutines
+//    sleeping on Simulator::wait, i.e. millions of schedule/heap/resume
+//    cycles. This is the workload the EventFn small-buffer callable and the
+//    POD-heap/slab event queue were built for.
+//  - kernel.spilled_events: same loop but with captures larger than the
+//    EventFn inline buffer, exercising the spill path.
+//  - db.indexed_finder: Table::find_equal + for_each_equal probes against a
+//    secondary index (transparent Value comparator, no key materialization).
+//
+// MUTSVC_FAST=1 shrinks everything to a CI smoke run.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "db/table.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "tools/perf/perfjson.hpp"
+
+using namespace mutsvc;
+
+namespace {
+
+bool fast_mode() { return std::getenv("MUTSVC_FAST") != nullptr; }
+
+[[nodiscard]] sim::Task<void> ticker(sim::Simulator& s, int id) {
+  const sim::Duration period = sim::us(50 + id % 97);
+  for (;;) co_await s.wait(period);
+}
+
+perf::Benchmark bench_coroutine_timer() {
+  const int tasks = 512;
+  const double sim_seconds = fast_mode() ? 0.1 : 1.0;
+  sim::Simulator s(1);
+  for (int i = 0; i < tasks; ++i) s.spawn(ticker(s, i));
+  perf::WallTimer timer;
+  s.run_until(sim::SimTime::origin() + sim::sec(sim_seconds));
+  const double wall = timer.seconds();
+  const auto events = static_cast<double>(s.executed_events());
+  perf::Benchmark b{"kernel.coroutine_timer", {}};
+  b.add("events", events);
+  b.add("wall_seconds", wall);
+  b.add("wall_events_per_sec", wall > 0.0 ? events / wall : 0.0);
+  return b;
+}
+
+perf::Benchmark bench_spilled_events() {
+  // Captures of 64 bytes force the EventFn spill path on every event.
+  struct Fat {
+    std::uint64_t pad[8];
+  };
+  const double sim_seconds = fast_mode() ? 0.05 : 0.5;
+  sim::Simulator s(1);
+  std::uint64_t acc = 0;
+  // Self-rescheduling chain of 64 spilled events per tick.
+  for (int i = 0; i < 64; ++i) {
+    struct Chain {
+      sim::Simulator* s;
+      std::uint64_t* acc;
+      Fat payload;
+      void operator()() const {
+        *acc += payload.pad[0];
+        s->schedule_after(sim::us(20), Chain{s, acc, payload});
+      }
+    };
+    s.schedule_after(sim::us(i), Chain{&s, &acc, Fat{{static_cast<std::uint64_t>(i)}}});
+  }
+  perf::WallTimer timer;
+  s.run_until(sim::SimTime::origin() + sim::sec(sim_seconds));
+  const double wall = timer.seconds();
+  const auto events = static_cast<double>(s.executed_events());
+  perf::Benchmark b{"kernel.spilled_events", {}};
+  b.add("events", events);
+  b.add("wall_seconds", wall);
+  b.add("wall_events_per_sec", wall > 0.0 ? events / wall : 0.0);
+  return b;
+}
+
+perf::Benchmark bench_indexed_finder() {
+  const std::int64_t rows = fast_mode() ? 5000 : 20000;
+  const std::int64_t groups = 100;
+  const std::int64_t probes = fast_mode() ? 40000 : 400000;
+
+  db::Table t("items", {{"id", db::ColumnType::kInt},
+                        {"g", db::ColumnType::kInt},
+                        {"name", db::ColumnType::kText}});
+  t.create_index("g");
+  for (std::int64_t i = 1; i <= rows; ++i) {
+    t.insert(db::Row{i, i % groups, "item-" + std::to_string(i)});
+  }
+
+  std::uint64_t matched = 0;
+  perf::WallTimer timer;
+  for (std::int64_t p = 0; p < probes; ++p) {
+    const db::Value key = p % groups;
+    if ((p & 1) == 0) {
+      t.for_each_equal("g", key, [&](const db::Row& r) { matched += r.size(); });
+    } else {
+      matched += t.find_equal("g", key).size();
+    }
+  }
+  const double wall = timer.seconds();
+  perf::Benchmark b{"db.indexed_finder", {}};
+  b.add("probes", static_cast<double>(probes));
+  b.add("matched", static_cast<double>(matched));
+  b.add("wall_seconds", wall);
+  b.add("wall_ops_per_sec", wall > 0.0 ? static_cast<double>(probes) / wall : 0.0);
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = perf::bench_json_path_or("BENCH_kernel.json");
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) out_path = argv[++i];
+  }
+
+  std::cout << "=== bench_kernel: sim-kernel + DB hot-path wall-clock microbench ===\n"
+            << (fast_mode() ? "(MUTSVC_FAST smoke run)\n" : "") << "\n";
+
+  std::vector<perf::Benchmark> results;
+  results.push_back(bench_coroutine_timer());
+  results.push_back(bench_spilled_events());
+  results.push_back(bench_indexed_finder());
+
+  perf::Benchmark host{"host", {}};
+  host.add("wall_peak_rss_bytes", static_cast<double>(perf::peak_rss_bytes()));
+  results.push_back(host);
+
+  for (const auto& b : results) {
+    std::cout << b.name << "\n";
+    for (const auto& m : b.metrics) {
+      std::printf("  %-28s %s\n", m.name.c_str(), perf::format_number(m.value).c_str());
+    }
+  }
+
+  perf::write_bench_json(out_path, "bench_kernel", results);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -4,11 +4,14 @@
 // blocking push the writer pays one more WAN round trip per edge, under
 // asynchronous updates it pays nothing (§4.5's scalability argument,
 // beyond the paper's fixed two-edge testbed).
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "apps/rubis/rubis.hpp"
 #include "core/calibration.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "stats/table.hpp"
 
 using namespace mutsvc;
@@ -42,12 +45,23 @@ Row run(std::size_t edges, core::ConfigLevel level) {
 int main() {
   std::cout << "=== Sensitivity S2: scaling the edge fan-out (10 req/s per site) ===\n\n";
 
+  // 4 fan-outs x 2 configurations = 8 independent trials, run through the
+  // core::sweep pool; the merge preserves submission order.
+  const std::vector<std::size_t> fanouts = {1, 2, 4, 8};
+  std::vector<std::function<Row()>> trials;
+  for (std::size_t edges : fanouts) {
+    trials.push_back([edges] { return run(edges, core::ConfigLevel::kQueryCaching); });
+    trials.push_back([edges] { return run(edges, core::ConfigLevel::kAsyncUpdates); });
+  }
+  std::vector<Row> rows = core::sweep::run_trials(std::move(trials));
+
   stats::TextTable table{{"edges", "total req/s", "remote browser (ms)",
                           "Store Bid, blocking (ms)", "Store Bid, async (ms)",
                           "main CPU (async)"}};
-  for (std::size_t edges : {1, 2, 4, 8}) {
-    Row blocking = run(edges, core::ConfigLevel::kQueryCaching);  // blocking push rung
-    Row async = run(edges, core::ConfigLevel::kAsyncUpdates);
+  for (std::size_t i = 0; i < fanouts.size(); ++i) {
+    const std::size_t edges = fanouts[i];
+    const Row& blocking = rows[2 * i];  // blocking push rung
+    const Row& async = rows[2 * i + 1];
     table.add_row({std::to_string(edges),
                    stats::TextTable::cell_fixed(10.0 * static_cast<double>(edges + 1), 0),
                    stats::TextTable::cell_ms(async.browser),

@@ -3,11 +3,14 @@
 // (§4.6) — so the final configuration's remote response times should be
 // nearly flat in the WAN latency, while the centralized deployment grows
 // linearly with it (2 RTTs per page).
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "apps/rubis/rubis.hpp"
 #include "core/calibration.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "stats/table.hpp"
 
 using namespace mutsvc;
@@ -39,12 +42,22 @@ int main() {
   std::cout << "=== Sensitivity S1: remote response time vs WAN one-way latency ===\n"
             << "(RUBiS; centralized vs the final asynchronous-updates configuration)\n\n";
 
+  // 6 latencies x 2 configurations = 12 independent trials; fan them across
+  // the core::sweep pool and read results back in submission order.
+  const std::vector<double> wans = {10.0, 25.0, 50.0, 100.0, 200.0, 400.0};
+  std::vector<std::function<Point()>> trials;
+  for (double wan : wans) {
+    trials.push_back([wan] { return run(wan, core::ConfigLevel::kCentralized); });
+    trials.push_back([wan] { return run(wan, core::ConfigLevel::kAsyncUpdates); });
+  }
+  std::vector<Point> points = core::sweep::run_trials(std::move(trials));
+
   stats::TextTable table{{"one-way latency (ms)", "centralized browser", "final browser",
                           "centralized bidder", "final bidder"}};
-  for (double wan : {10.0, 25.0, 50.0, 100.0, 200.0, 400.0}) {
-    Point centralized = run(wan, core::ConfigLevel::kCentralized);
-    Point final_cfg = run(wan, core::ConfigLevel::kAsyncUpdates);
-    table.add_row({stats::TextTable::cell_fixed(wan, 0),
+  for (std::size_t i = 0; i < wans.size(); ++i) {
+    const Point& centralized = points[2 * i];
+    const Point& final_cfg = points[2 * i + 1];
+    table.add_row({stats::TextTable::cell_fixed(wans[i], 0),
                    stats::TextTable::cell_ms(centralized.browser),
                    stats::TextTable::cell_ms(final_cfg.browser),
                    stats::TextTable::cell_ms(centralized.bidder),

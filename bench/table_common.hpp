@@ -1,15 +1,19 @@
 #pragma once
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/common/driver.hpp"
 #include "core/calibration.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "core/sweep.hpp"
+#include "tools/perf/perfjson.hpp"
 
 namespace mutsvc::bench {
 
@@ -30,27 +34,96 @@ inline core::ExperimentSpec base_spec() {
 struct LadderRun {
   std::vector<std::unique_ptr<core::Experiment>> experiments;
   std::vector<core::ConfigResult> results;
+  /// Host-side measurements (nondeterministic; excluded from report diffs).
+  std::vector<double> rung_wall_seconds;
+  double wall_seconds_total = 0.0;
+  std::size_t jobs = 1;
 };
 
 /// Runs all five configurations of §4 for one application.
+///
+/// The rungs are fully independent `(spec, seed)` trials — each owns its
+/// Simulator, testbed, and collectors — so they fan out across the
+/// core::sweep worker pool (MUTSVC_JOBS, default: all cores) and merge in
+/// submission order: the printed tables are bit-identical to a serial run
+/// at any thread count.
 inline LadderRun run_ladder(const apps::AppDriver& driver,
                             const core::HarnessCalibration& cal,
                             const core::ExperimentSpec& base) {
+  static constexpr core::ConfigLevel kLevels[] = {
+      core::ConfigLevel::kCentralized, core::ConfigLevel::kRemoteFacade,
+      core::ConfigLevel::kStatefulComponentCaching, core::ConfigLevel::kQueryCaching,
+      core::ConfigLevel::kAsyncUpdates};
+
+  struct Trial {
+    std::unique_ptr<core::Experiment> experiment;
+    double wall_seconds = 0.0;
+  };
+
   LadderRun run;
-  for (core::ConfigLevel level :
-       {core::ConfigLevel::kCentralized, core::ConfigLevel::kRemoteFacade,
-        core::ConfigLevel::kStatefulComponentCaching, core::ConfigLevel::kQueryCaching,
-        core::ConfigLevel::kAsyncUpdates}) {
+  run.jobs = core::sweep::configured_jobs();
+  std::vector<std::function<Trial()>> trials;
+  for (core::ConfigLevel level : kLevels) {
     core::ExperimentSpec spec = base;
     spec.level = level;
-    auto exp = std::make_unique<core::Experiment>(driver, spec, cal);
-    std::cerr << "  running: " << core::to_string(level) << " ("
-              << spec.duration.as_seconds() << "s simulated)..." << std::endl;
-    exp->run();
-    run.results.push_back(core::ConfigResult{level, &exp->results()});
-    run.experiments.push_back(std::move(exp));
+    std::cerr << "  queued: " << core::to_string(level) << " ("
+              << spec.duration.as_seconds() << "s simulated)" << std::endl;
+    trials.push_back([spec, &driver, &cal] {
+      perf::WallTimer timer;
+      auto exp = std::make_unique<core::Experiment>(driver, spec, cal);
+      exp->run();
+      return Trial{std::move(exp), timer.seconds()};
+    });
+  }
+
+  perf::WallTimer total;
+  std::vector<Trial> done = core::sweep::run_trials(std::move(trials));
+  run.wall_seconds_total = total.seconds();
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    run.results.push_back(core::ConfigResult{kLevels[i], &done[i].experiment->results()});
+    run.rung_wall_seconds.push_back(done[i].wall_seconds);
+    run.experiments.push_back(std::move(done[i].experiment));
   }
   return run;
+}
+
+/// Emits the ladder's perf trajectory (BENCH_ladder.json schema) when
+/// MUTSVC_BENCH_JSON names an output path; silent otherwise. Deterministic
+/// metrics (executed events) are bit-identical across MUTSVC_JOBS values;
+/// `wall_*` metrics are host measurements.
+inline void maybe_write_ladder_json(const std::string& app, const LadderRun& run) {
+  const char* path = std::getenv("MUTSVC_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+
+  std::vector<perf::Benchmark> out;
+  double serial_equivalent = 0.0;
+  std::uint64_t total_events = 0;
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    perf::Benchmark b{"ladder." + app + "." + core::to_string(run.results[i].level), {}};
+    const std::uint64_t events = run.experiments[i]->simulator().executed_events();
+    b.add("events", static_cast<double>(events));
+    b.add("wall_seconds", run.rung_wall_seconds[i]);
+    out.push_back(std::move(b));
+    serial_equivalent += run.rung_wall_seconds[i];
+    total_events += events;
+  }
+  perf::Benchmark total{"ladder." + app + ".total", {}};
+  total.add("events", static_cast<double>(total_events));
+  total.add("wall_seconds", run.wall_seconds_total);
+  total.add("wall_serial_equivalent_seconds", serial_equivalent);
+  total.add("wall_speedup",
+            run.wall_seconds_total > 0.0 ? serial_equivalent / run.wall_seconds_total : 0.0);
+  total.add("wall_jobs", static_cast<double>(run.jobs));
+  total.add("wall_events_per_sec",
+            run.wall_seconds_total > 0.0
+                ? static_cast<double>(total_events) / run.wall_seconds_total
+                : 0.0);
+  total.add("wall_peak_rss_bytes", static_cast<double>(perf::peak_rss_bytes()));
+  out.push_back(std::move(total));
+  perf::write_bench_json(path, "ladder." + app, out);
+  std::cerr << "  wrote " << path << " (jobs=" << run.jobs << ", speedup="
+            << (run.wall_seconds_total > 0.0 ? serial_equivalent / run.wall_seconds_total : 0.0)
+            << "x)\n";
 }
 
 inline void print_utilization(std::ostream& os, core::Experiment& exp) {

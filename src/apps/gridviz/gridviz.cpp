@@ -208,13 +208,26 @@ void GridVizApp::install_database(db::Database& db) const {
         // Latest readings across the dataset's probes (bounded window).
         const std::int64_t dataset = db::as_int(params.at(0));
         std::vector<Row> out;
-        for (const Row& probe : d.table("probes").find_equal("dataset_id", dataset)) {
-          auto rows = d.table("readings").find_equal("probe_id", db::as_int(probe[0]));
-          const std::size_t take = std::min<std::size_t>(rows.size(), 10);
-          for (std::size_t i = rows.size() - take; i < rows.size(); ++i) {
-            out.push_back(rows[i]);
+        const db::Table& probes = d.table("probes");
+        const db::Table& readings = d.table("readings");
+        probes.for_each_equal("dataset_id", dataset, [&](const Row& probe) {
+          // Keep only the last 10 readings per probe: walk the index
+          // without copying, remembering the tail in a ring of pointers.
+          std::vector<const Row*> tail;
+          std::size_t seen = 0;
+          readings.for_each_equal("probe_id", probe[0], [&](const Row& r) {
+            if (tail.size() < 10) {
+              tail.push_back(&r);
+            } else {
+              tail[seen % 10] = &r;
+            }
+            ++seen;
+          });
+          const std::size_t start = seen > 10 ? seen % 10 : 0;
+          for (std::size_t i = 0; i < tail.size(); ++i) {
+            out.push_back(*tail[(start + i) % tail.size()]);
           }
-        }
+        });
         return out;
       });
 }

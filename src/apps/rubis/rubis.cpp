@@ -322,10 +322,12 @@ void RubisApp::install_database(db::Database& db) const {
         const std::int64_t category = db::as_int(params.at(0));
         const std::int64_t region = db::as_int(params.at(1));
         std::vector<Row> out;
-        for (Row& item : d.table("items").find_equal("category_id", category)) {
+        // Non-copying index walk: only the rows that survive the region
+        // filter are copied into the result.
+        d.table("items").for_each_equal("category_id", category, [&](const Row& item) {
           auto seller = d.table("users").get(db::as_int(item[3]));
-          if (seller && db::as_int((*seller)[3]) == region) out.push_back(std::move(item));
-        }
+          if (seller && db::as_int((*seller)[3]) == region) out.push_back(item);
+        });
         return out;
       });
 }

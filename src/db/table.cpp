@@ -1,6 +1,6 @@
 #include "db/table.hpp"
 
-#include <sstream>
+#include <iterator>
 
 namespace mutsvc::db {
 
@@ -23,7 +23,7 @@ void Table::create_index(const std::string& col) {
   std::size_t ci = column_index(col);
   auto& idx = indexes_[col];
   idx.clear();
-  for (const auto& [pk, row] : rows_) idx.emplace(value_key(row[ci]), pk);
+  for (const auto& [pk, row] : rows_) idx.emplace(row[ci], IndexEntry{pk, &row});
 }
 
 bool Table::has_index(const std::string& col) const { return indexes_.contains(col); }
@@ -42,8 +42,9 @@ void Table::insert(Row row) {
   if (rows_.contains(pk)) {
     throw std::invalid_argument("Table " + name_ + ": duplicate primary key");
   }
-  index_row(row, pk);
-  rows_.emplace(pk, std::move(row));
+  // Store first, then index: the index holds pointers into the stored row.
+  auto [it, inserted] = rows_.emplace(pk, std::move(row));
+  index_row(it->second, pk);
 }
 
 void Table::update(std::int64_t pk, Row row) {
@@ -91,8 +92,9 @@ std::vector<Row> Table::find_equal(const std::string& col, const Value& v) const
   std::vector<Row> out;
   auto idx_it = indexes_.find(col);
   if (idx_it != indexes_.end()) {
-    auto [lo, hi] = idx_it->second.equal_range(value_key(v));
-    for (auto it = lo; it != hi; ++it) out.push_back(rows_.at(it->second));
+    auto [lo, hi] = idx_it->second.equal_range(v);
+    out.reserve(static_cast<std::size_t>(std::distance(lo, hi)));
+    for (auto it = lo; it != hi; ++it) out.push_back(*it->second.row);
     return out;
   }
   std::size_t ci = column_index(col);
@@ -123,32 +125,20 @@ std::int64_t Table::approx_row_bytes() const {
 
 void Table::index_row(const Row& row, std::int64_t pk) {
   for (auto& [col, idx] : indexes_) {
-    idx.emplace(value_key(row[column_index(col)]), pk);
+    idx.emplace(row[column_index(col)], IndexEntry{pk, &row});
   }
 }
 
 void Table::unindex_row(const Row& row, std::int64_t pk) {
   for (auto& [col, idx] : indexes_) {
-    auto [lo, hi] = idx.equal_range(value_key(row[column_index(col)]));
+    auto [lo, hi] = idx.equal_range(row[column_index(col)]);
     for (auto it = lo; it != hi; ++it) {
-      if (it->second == pk) {
+      if (it->second.pk == pk) {
         idx.erase(it);
         break;
       }
     }
   }
-}
-
-std::string Table::value_key(const Value& v) {
-  std::ostringstream os;
-  if (std::holds_alternative<std::int64_t>(v)) {
-    os << "i:" << std::get<std::int64_t>(v);
-  } else if (std::holds_alternative<double>(v)) {
-    os << "r:" << std::get<double>(v);
-  } else {
-    os << "t:" << std::get<std::string>(v);
-  }
-  return os.str();
 }
 
 }  // namespace mutsvc::db

@@ -6,12 +6,42 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "db/value.hpp"
 
 namespace mutsvc::db {
+
+/// Transparent strict-weak order over index keys. Values order by
+/// alternative rank (int < real < text — the variant's own order) and then
+/// by value; the heterogeneous overloads let probes compare raw integers
+/// and string views against stored keys without materializing a `Value`
+/// (and, before this comparator, a formatted `std::string` key) per lookup.
+struct ValueLess {
+  using is_transparent = void;
+
+  bool operator()(const Value& a, const Value& b) const { return a < b; }
+
+  bool operator()(const Value& a, std::int64_t b) const {
+    const auto* i = std::get_if<std::int64_t>(&a);
+    return i != nullptr && *i < b;  // non-int ranks above every int
+  }
+  bool operator()(std::int64_t a, const Value& b) const {
+    const auto* i = std::get_if<std::int64_t>(&b);
+    return i == nullptr || a < *i;
+  }
+  bool operator()(const Value& a, std::string_view b) const {
+    const auto* s = std::get_if<std::string>(&a);
+    return s == nullptr || *s < b;  // non-text ranks below every text
+  }
+  bool operator()(std::string_view a, const Value& b) const {
+    const auto* s = std::get_if<std::string>(&b);
+    return s != nullptr && a < *s;
+  }
+};
 
 /// One relational table with an integer primary key (column 0) and optional
 /// secondary indexes on other columns.
@@ -42,9 +72,28 @@ class Table {
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
   [[nodiscard]] std::int64_t max_pk() const { return rows_.empty() ? 0 : rows_.rbegin()->first; }
 
-  /// All rows whose `col` equals `v`. Uses a secondary index when present;
-  /// falls back to a full scan.
+  /// All rows whose `col` equals `v`. Uses a secondary index when present
+  /// (result pre-reserved, rows read through the index's row pointers — no
+  /// per-match primary-key re-lookup); falls back to a full scan.
   [[nodiscard]] std::vector<Row> find_equal(const std::string& col, const Value& v) const;
+
+  /// Non-copying variant of find_equal: visits each matching row in place,
+  /// in primary-key-insertion order for indexed columns and primary-key
+  /// order for scans — the same order find_equal returns. Used by the query
+  /// layer (aggregates) to filter/join without copying whole rows.
+  template <class Fn>
+  void for_each_equal(const std::string& col, const Value& v, Fn&& fn) const {
+    auto idx_it = indexes_.find(col);
+    if (idx_it != indexes_.end()) {
+      auto [lo, hi] = idx_it->second.equal_range(v);
+      for (auto it = lo; it != hi; ++it) fn(*it->second.row);
+      return;
+    }
+    const std::size_t ci = column_index(col);
+    for (const auto& [pk, row] : rows_) {
+      if (row[ci] == v) fn(row);
+    }
+  }
 
   /// Full scan with predicate (used by keyword search and aggregates).
   [[nodiscard]] std::vector<Row> scan(
@@ -54,15 +103,23 @@ class Table {
   [[nodiscard]] std::int64_t approx_row_bytes() const;
 
  private:
+  /// Index entry: the primary key (for unindexing) plus a direct pointer to
+  /// the row storage. std::map nodes are stable and updates assign in
+  /// place, so the pointer stays valid until the row is erased (which
+  /// unindexes first).
+  struct IndexEntry {
+    std::int64_t pk;
+    const Row* row;
+  };
+  using Index = std::multimap<Value, IndexEntry, ValueLess>;
+
   void index_row(const Row& row, std::int64_t pk);
   void unindex_row(const Row& row, std::int64_t pk);
-  static std::string value_key(const Value& v);
 
   std::string name_;
   std::vector<Column> columns_;
   std::map<std::int64_t, Row> rows_;  // ordered: deterministic scans
-  // index name -> (value key -> pks)
-  std::unordered_map<std::string, std::multimap<std::string, std::int64_t>> indexes_;
+  std::unordered_map<std::string, Index> indexes_;  // index name -> value -> entry
 };
 
 }  // namespace mutsvc::db

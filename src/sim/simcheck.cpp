@@ -19,7 +19,7 @@ bool env_enabled() {
 }
 }  // namespace
 
-bool g_enabled = env_enabled();
+std::atomic<bool> g_enabled{env_enabled()};
 
 }  // namespace detail
 
@@ -33,8 +33,11 @@ struct ActiveWrite {
   bool holds_lock = false;
 };
 
-/// All sanitizer state. The simulation is single-threaded (one event loop),
-/// so a plain singleton needs no synchronization.
+/// All sanitizer state. One simulation is single-threaded (one event loop),
+/// and the sweep runner pins each trial to one worker thread, so a
+/// thread-local singleton needs no synchronization: concurrent trials get
+/// disjoint registries, and reset() at trial start makes the state
+/// trial-scoped regardless of which thread ran it.
 struct Registry {
   Report report;
 
@@ -82,7 +85,7 @@ struct Registry {
 };
 
 Registry& reg() {
-  static Registry r;
+  static thread_local Registry r;
   return r;
 }
 

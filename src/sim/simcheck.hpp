@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -54,19 +55,28 @@ struct Report {
 };
 
 namespace detail {
-extern bool g_enabled;  // initialized from MUTSVC_SIMCHECK at startup
+extern std::atomic<bool> g_enabled;  // initialized from MUTSVC_SIMCHECK at startup
 }
 
 /// True when the sanitizer is active. Callers gate probe calls on this so
-/// the disabled path stays a single branch.
-[[nodiscard]] inline bool enabled() noexcept { return detail::g_enabled; }
+/// the disabled path stays a single relaxed load.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
 
 /// Programmatic override of the MUTSVC_SIMCHECK environment switch (tests).
 void set_enabled(bool on);
 
 /// Clears all tracked state and the report (call between independent runs).
+///
+/// All registry state (locks, write spans, the report) is thread-local:
+/// each sweep worker thread sanitizes its own trials independently, and the
+/// parallel trial executor resets the state at the start of every trial, so
+/// a sanitized trial's behavior does not depend on which thread ran it.
+/// Hard violations still throw and propagate out of the sweep.
 void reset();
 
+/// The calling thread's findings (trial-scoped under the sweep runner).
 [[nodiscard]] const Report& report();
 
 // --- lock instrumentation ----------------------------------------------------

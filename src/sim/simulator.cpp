@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 
@@ -33,9 +34,19 @@ DetachedTask run_detached(Task<void> task) { co_await std::move(task); }
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
-void Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+void Simulator::schedule_at(SimTime at, EventFn fn) {
   if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  heap_.push_back(HeapNode{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), NodeOrder{});
 }
 
 void Simulator::spawn(Task<void> task) {
@@ -45,12 +56,16 @@ void Simulator::spawn(Task<void> task) {
 
 std::size_t Simulator::run_until(SimTime until) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    // Copy out before pop: the handler may schedule new events.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.at;
-    ev.fn();
+  while (!heap_.empty() && heap_.front().at <= until) {
+    std::pop_heap(heap_.begin(), heap_.end(), NodeOrder{});
+    const HeapNode node = heap_.back();
+    heap_.pop_back();
+    // Move the callable out and recycle its slot before invoking: the
+    // handler may schedule new events into the slab.
+    EventFn fn = std::move(slots_[node.slot]);
+    free_slots_.push_back(node.slot);
+    now_ = node.at;
+    fn();
     ++executed;
   }
   executed_ += executed;

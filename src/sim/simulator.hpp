@@ -2,10 +2,9 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -17,6 +16,12 @@ namespace mutsvc::sim {
 /// Owns the virtual clock and the event heap. Events scheduled for the same
 /// time fire in insertion order (stable FIFO tie-break), which makes runs
 /// fully deterministic.
+///
+/// Hot-path layout: the heap itself holds 24-byte POD nodes (time, FIFO
+/// sequence, slab slot), so sift operations are plain memmoves with no
+/// callable moves; the callables live in a slab of `EventFn` slots recycled
+/// through a freelist. Slot recycling is driven purely by the (deterministic)
+/// event order, so it never perturbs results.
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
@@ -27,10 +32,10 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `at` (clamped to now()).
-  void schedule_at(SimTime at, std::function<void()> fn);
+  void schedule_at(SimTime at, EventFn fn);
 
   /// Schedules `fn` to run `after` from now.
-  void schedule_after(Duration after, std::function<void()> fn) {
+  void schedule_after(Duration after, EventFn fn) {
     schedule_at(now_ + after, std::move(fn));
   }
 
@@ -65,21 +70,22 @@ class Simulator {
   /// Runs for `d` of simulated time from the current clock.
   std::size_t run_for(Duration d) { return run_until(now_ + d); }
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
   [[nodiscard]] std::size_t executed_events() const { return executed_; }
 
   /// Root RNG; subsystems should fork named streams from it.
   [[nodiscard]] RngStream& rng() { return rng_; }
 
  private:
-  struct Event {
+  /// Heap node: POD, so push_heap/pop_heap never touch a callable.
+  struct HeapNode {
     SimTime at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
+  struct NodeOrder {
+    bool operator()(const HeapNode& a, const HeapNode& b) const {
       if (a.at != b.at) return a.at > b.at;  // min-heap on time
       return a.seq > b.seq;                  // FIFO among equal times
     }
@@ -88,7 +94,9 @@ class Simulator {
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<HeapNode> heap_;
+  std::vector<EventFn> slots_;          // slab of pending callables
+  std::vector<std::uint32_t> free_slots_;  // recycled slab slots
   RngStream rng_;
 };
 

@@ -91,6 +91,64 @@ TEST(TableTest, IndexMaintainedAcrossMutations) {
   EXPECT_TRUE(t.find_equal("product_id", std::int64_t{7}).empty());
 }
 
+TEST(TableTest, ForEachEqualMatchesFindEqualWithAndWithoutIndex) {
+  Table t{"item", item_columns()};
+  for (std::int64_t i = 0; i < 30; ++i) t.insert(item_row(i, i % 3, "it", 1.0));
+
+  auto visit = [&](const Value& key) {
+    std::vector<Row> seen;
+    t.for_each_equal("product_id", key, [&](const Row& r) { seen.push_back(r); });
+    return seen;
+  };
+  // Same rows, same (pk-ascending) order, on both the scan and index paths.
+  EXPECT_EQ(visit(std::int64_t{1}), t.find_equal("product_id", std::int64_t{1}));
+  t.create_index("product_id");
+  EXPECT_EQ(visit(std::int64_t{1}), t.find_equal("product_id", std::int64_t{1}));
+  EXPECT_TRUE(visit(std::int64_t{99}).empty());
+}
+
+TEST(TableTest, ForEachEqualVisitsRowsInPlace) {
+  Table t{"item", item_columns()};
+  t.create_index("product_id");
+  t.insert(item_row(1, 7, "a", 1.0));
+  t.insert(item_row(2, 7, "b", 1.0));
+  // The visited references are the stored rows themselves — the addresses
+  // are stable across visits, proving no per-visit copies are made.
+  std::vector<const Row*> first, second;
+  t.for_each_equal("product_id", std::int64_t{7}, [&](const Row& r) { first.push_back(&r); });
+  t.for_each_equal("product_id", std::int64_t{7}, [&](const Row& r) { second.push_back(&r); });
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(as_text((*first[0])[2]), "a");
+  EXPECT_EQ(as_text((*first[1])[2]), "b");
+}
+
+TEST(TableTest, TextColumnIndexLookups) {
+  Table t{"item", item_columns()};
+  t.create_index("name");
+  t.insert(item_row(1, 10, "fish", 1.0));
+  t.insert(item_row(2, 11, "fish", 2.0));
+  t.insert(item_row(3, 12, "cat", 3.0));
+  EXPECT_EQ(t.find_equal("name", std::string("fish")).size(), 2u);
+  EXPECT_EQ(t.find_equal("name", std::string("cat")).size(), 1u);
+  EXPECT_TRUE(t.find_equal("name", std::string("dog")).empty());
+  std::size_t visited = 0;
+  t.for_each_equal("name", std::string("fish"), [&](const Row&) { ++visited; });
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST(TableTest, IndexSurvivesRowStorageGrowth) {
+  // Index entries point at rows held by node-based storage; inserting many
+  // rows after indexing must not invalidate earlier entries.
+  Table t{"item", item_columns()};
+  t.create_index("product_id");
+  t.insert(item_row(0, 42, "first", 1.0));
+  for (std::int64_t i = 1; i < 500; ++i) t.insert(item_row(i, i % 5, "fill", 1.0));
+  auto rows = t.find_equal("product_id", std::int64_t{42});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(as_text(rows[0][2]), "first");
+}
+
 TEST(TableTest, ScanPredicate) {
   Table t{"item", item_columns()};
   for (std::int64_t i = 0; i < 10; ++i) t.insert(item_row(i, 0, "it", static_cast<double>(i)));

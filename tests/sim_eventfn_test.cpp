@@ -1,0 +1,167 @@
+// EventFn (the event loop's small-buffer callable) and the simulator's
+// slab/freelist event storage built on top of it.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/event_fn.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace mutsvc;
+
+TEST(EventFn, DefaultIsEmpty) {
+  sim::EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFn, SmallCaptureStaysInline) {
+  int hits = 0;
+  sim::EventFn fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.spilled());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, CaptureAtTheInlineBoundaryStaysInline) {
+  std::array<std::byte, sim::EventFn::kInlineBytes - sizeof(int*)> pad{};
+  int hits = 0;
+  int* p = &hits;
+  sim::EventFn fn([pad, p] {
+    (void)pad;
+    ++*p;
+  });
+  EXPECT_FALSE(fn.spilled());
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, LargeCaptureSpillsAndStillRuns) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineBytes
+  big[0] = 7;
+  std::uint64_t out = 0;
+  sim::EventFn fn([big, &out] { out = big[0]; });
+  EXPECT_TRUE(fn.spilled());
+  fn();
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(EventFn, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(41);
+  sim::EventFn fn([p = std::move(owned)] { ++*p; });
+  EXPECT_FALSE(fn.spilled());
+  fn();  // no observable side effect needed; must not crash or double-free
+}
+
+TEST(EventFn, MoveTransfersTheCallable) {
+  int hits = 0;
+  sim::EventFn a([&hits] { ++hits; });
+  sim::EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): asserting moved-from state
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  sim::EventFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, MoveAssignDestroysThePreviousCallable) {
+  auto counter = std::make_shared<int>(0);
+  struct Bump {
+    std::shared_ptr<int> n;
+    void operator()() const { ++*n; }
+  };
+  sim::EventFn a(Bump{counter});
+  EXPECT_EQ(counter.use_count(), 2);
+  a = sim::EventFn([] {});
+  EXPECT_EQ(counter.use_count(), 1);  // old callable released on assignment
+}
+
+TEST(EventFn, DestructorReleasesSpilledCallable) {
+  auto counter = std::make_shared<int>(0);
+  struct FatBump {
+    std::shared_ptr<int> n;
+    std::array<std::uint64_t, 16> pad{};
+    void operator()() const { ++*n; }
+  };
+  {
+    sim::EventFn fn(FatBump{counter, {}});
+    EXPECT_TRUE(fn.spilled());
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+// --- slab slot recycling through the simulator -------------------------------
+
+TEST(EventSlab, SlotsAreRecycledAcrossRuns) {
+  sim::Simulator s(1);
+  int hits = 0;
+  // Two waves of events; the second wave reuses the first wave's slots, so
+  // pending storage never exceeds the high-water mark of one wave.
+  for (int wave = 0; wave < 2; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      s.schedule_after(sim::us(i + 1), [&hits] { ++hits; });
+    }
+    s.run_until(s.now() + sim::ms(1));
+    EXPECT_EQ(s.pending_events(), 0u);
+  }
+  EXPECT_EQ(hits, 200);
+}
+
+TEST(EventSlab, FifoTieBreakSurvivesRecycling) {
+  sim::Simulator s(1);
+  std::vector<int> order;
+  // Same-timestamp events must run in scheduling order even after the slab
+  // has recycled slots (freelist reuse must not perturb the (time, seq)
+  // ordering).
+  s.schedule_after(sim::us(1), [&] { order.push_back(0); });
+  s.run_until(s.now() + sim::us(2));
+  for (int i = 1; i <= 5; ++i) {
+    s.schedule_after(sim::us(1), [&order, i] { order.push_back(i); });
+  }
+  s.run_until(s.now() + sim::us(2));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+[[nodiscard]] sim::Task<void> pinger(sim::Simulator& s, int& count) {
+  for (int i = 0; i < 1000; ++i) co_await s.wait(sim::us(10));
+  ++count;
+}
+
+TEST(EventSlab, CoroutineResumePathIsInlineAndDeterministic) {
+  // The canonical hot path: Simulator::wait's resume lambda must fit the
+  // inline buffer (that is EventFn's whole reason to exist).
+  struct Probe {
+    std::coroutine_handle<> h;
+  };
+  static_assert(sizeof(Probe) <= sim::EventFn::kInlineBytes,
+                "coroutine resume capture must stay inline");
+
+  std::uint64_t events_a = 0, events_b = 0;
+  for (std::uint64_t* events : {&events_a, &events_b}) {
+    sim::Simulator s(7);
+    int done = 0;
+    for (int i = 0; i < 4; ++i) s.spawn(pinger(s, done));
+    s.run_until(sim::SimTime::origin() + sim::sec(1));
+    EXPECT_EQ(done, 4);
+    *events = s.executed_events();
+  }
+  EXPECT_EQ(events_a, events_b);
+}
+
+}  // namespace

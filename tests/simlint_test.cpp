@@ -188,6 +188,50 @@ TEST(SimlintNodiscardTask, SkipsLambdaReturnTypesAndOutOfLineDefinitions) {
   EXPECT_EQ(count_rule(defn, "nodiscard-task"), 0u);
 }
 
+// --- sim-shared-across-threads -------------------------------------------------
+
+TEST(SimlintSimSharedAcrossThreads, FlagsThreadsNextToSimulator) {
+  const auto f = lint_source("src/core/bad.cpp",
+                             "void run(sim::Simulator& s) {\n"
+                             "  std::thread t([&] { s.run_until(end); });\n"
+                             "  t.join();\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "sim-shared-across-threads"), 1u);
+  EXPECT_EQ(line_of(f, "sim-shared-across-threads"), 2);
+}
+
+TEST(SimlintSimSharedAcrossThreads, FlagsJthreadToo) {
+  const auto f = lint_source("src/core/bad.cpp",
+                             "#include \"sim/simulator.hpp\"\n"
+                             "sim::Simulator s(1);\n"
+                             "std::jthread worker;\n");
+  EXPECT_EQ(count_rule(f, "sim-shared-across-threads"), 1u);
+}
+
+TEST(SimlintSimSharedAcrossThreads, ThreadsWithoutSimulatorAreFine) {
+  const auto f = lint_source("tools/misc.cpp",
+                             "void fanout() {\n"
+                             "  std::thread t([] {});\n"
+                             "  t.join();\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "sim-shared-across-threads"), 0u);
+}
+
+TEST(SimlintSimSharedAcrossThreads, SimulatorWithoutThreadsIsFine) {
+  const auto f = lint_source("src/core/fine.cpp",
+                             "sim::Simulator s(1);\n"
+                             "s.run_until(sim::SimTime::origin());\n");
+  EXPECT_EQ(count_rule(f, "sim-shared-across-threads"), 0u);
+}
+
+TEST(SimlintSimSharedAcrossThreads, SuppressibleWhereJustified) {
+  const auto f = lint_source("src/core/sweep.cpp",
+                             "sim::Simulator* owned_by_trial;\n"
+                             "// simlint:allow(sim-shared-across-threads)\n"
+                             "std::vector<std::thread> pool;\n");
+  EXPECT_EQ(count_rule(f, "sim-shared-across-threads"), 0u);
+}
+
 // --- suppressions --------------------------------------------------------------
 
 TEST(SimlintSuppression, SameLineAllow) {
@@ -231,7 +275,7 @@ TEST(SimlintOutput, JsonReportIsMachineReadable) {
 
 TEST(SimlintOutput, RuleListingIsComplete) {
   const auto& rules = simlint::rules();
-  EXPECT_EQ(rules.size(), 6u);
+  EXPECT_EQ(rules.size(), 7u);
 }
 
 }  // namespace

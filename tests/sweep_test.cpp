@@ -1,0 +1,224 @@
+// core::sweep determinism suite: the parallel trial executor must produce
+// byte-identical reports at any MUTSVC_JOBS value (including the serial
+// inline path), with and without the SimCheck sanitizer; a failing trial
+// must neither deadlock the pool nor perturb the other trials' results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/petstore/petstore.hpp"
+#include "bench/table_common.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+#include "sim/simcheck.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace mutsvc;
+
+// Scoped environment override (tests mutate MUTSVC_JOBS / MUTSVC_BENCH_JSON).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+// --- configured_jobs / MUTSVC_JOBS parsing -----------------------------------
+
+TEST(SweepJobs, HonorsPositiveInteger) {
+  ScopedEnv env("MUTSVC_JOBS", "3");
+  EXPECT_EQ(core::sweep::configured_jobs(), 3u);
+}
+
+TEST(SweepJobs, RejectsMalformedValues) {
+  // Reading the host's core count to validate the fallback, not threading
+  // a simulation. simlint:allow(sim-shared-across-threads)
+  const unsigned hc = std::thread::hardware_concurrency();
+  const std::size_t fallback = hc > 0 ? hc : 1;
+  for (const char* bad : {"0", "-2", "abc", "2x", ""}) {
+    ScopedEnv env("MUTSVC_JOBS", bad);
+    EXPECT_EQ(core::sweep::configured_jobs(), fallback) << "MUTSVC_JOBS=" << bad;
+  }
+  ScopedEnv unset("MUTSVC_JOBS", nullptr);
+  EXPECT_GE(core::sweep::configured_jobs(), 1u);
+}
+
+// --- run_indexed / run_trials mechanics --------------------------------------
+
+TEST(SweepRun, AllIndicesRunExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<std::atomic<int>> hits(64);
+    core::sweep::run_indexed(
+        hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, jobs);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(SweepRun, MergesInSubmissionOrder) {
+  std::vector<std::function<std::size_t()>> trials;
+  for (std::size_t i = 0; i < 40; ++i) {
+    trials.push_back([i] { return i * i; });
+  }
+  const std::vector<std::size_t> out = core::sweep::run_trials(std::move(trials), 8);
+  ASSERT_EQ(out.size(), 40u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepRun, ThrowingTrialDoesNotDeadlockOrSkipOthers) {
+  std::vector<std::atomic<int>> hits(16);
+  auto body = [&](std::size_t i) {
+    hits[i].fetch_add(1);
+    if (i == 5) throw std::runtime_error("trial 5 failed");
+    if (i == 9) throw std::runtime_error("trial 9 failed");
+  };
+  try {
+    core::sweep::run_indexed(hits.size(), body, 4);
+    FAIL() << "expected the trial failure to propagate";
+  } catch (const std::runtime_error& e) {
+    // Lowest-index failure wins, regardless of worker scheduling.
+    EXPECT_STREQ(e.what(), "trial 5 failed");
+  }
+  // The pool drained fully: every trial ran despite the failures.
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+// --- kernel determinism under the pool ---------------------------------------
+
+[[nodiscard]] sim::Task<void> tick_forever(sim::Simulator& s, int id) {
+  const sim::Duration period = sim::us(200 + id % 17);
+  for (;;) co_await s.wait(period);
+}
+
+std::uint64_t run_small_sim(std::uint64_t seed) {
+  sim::Simulator s(seed);
+  for (int i = 0; i < 8; ++i) s.spawn(tick_forever(s, i));
+  s.run_until(sim::SimTime::origin() + sim::ms(500));
+  return s.executed_events();
+}
+
+TEST(SweepStress, ManySimTrialsMatchSerialReference) {
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> reference(n);
+  for (std::size_t i = 0; i < n; ++i) reference[i] = run_small_sim(i);
+
+  std::vector<std::function<std::uint64_t()>> trials;
+  for (std::size_t i = 0; i < n; ++i) {
+    trials.push_back([i] { return run_small_sim(i); });
+  }
+  const std::vector<std::uint64_t> parallel = core::sweep::run_trials(std::move(trials), 8);
+  ASSERT_EQ(parallel.size(), reference.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(parallel[i], reference[i]) << "trial " << i;
+  }
+}
+
+// --- ladder report byte-identity ---------------------------------------------
+
+// Renders the full bench ladder (five configuration rungs through the real
+// core::sweep path) into the two report tables the benches print.
+std::string ladder_report(const char* jobs_env) {
+  ScopedEnv env("MUTSVC_JOBS", jobs_env);
+  apps::petstore::PetStoreApp app;
+  apps::AppDriver driver = app.driver();
+  core::ExperimentSpec spec = bench::base_spec();
+  spec.duration = sim::sec(20);
+  spec.warmup = sim::sec(4);
+  bench::LadderRun run = bench::run_ladder(driver, core::petstore_calibration(), spec);
+  std::ostringstream os;
+  core::print_paper_table(os, driver, run.results);
+  core::print_session_averages(os, driver, run.results);
+  return os.str();
+}
+
+TEST(SweepDeterminism, LadderReportIsIdenticalAcrossJobCounts) {
+  const std::string serial = ladder_report("1");
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, ladder_report("2"));
+  EXPECT_EQ(serial, ladder_report("8"));
+}
+
+TEST(SweepDeterminism, SanitizedLadderMatchesAcrossJobCountsToo) {
+  simcheck::set_enabled(true);
+  const std::string serial = ladder_report("1");
+  const std::string two = ladder_report("2");
+  const std::string eight = ladder_report("8");
+  simcheck::set_enabled(false);
+  simcheck::reset();
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+// --- bench JSON identity (modulo wall_* lines) -------------------------------
+
+std::string json_without_wall_lines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream kept;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"wall_") != std::string::npos) continue;
+    kept << line << "\n";
+  }
+  return kept.str();
+}
+
+TEST(SweepDeterminism, LadderJsonIdenticalAcrossJobCountsIgnoringWallMetrics) {
+  apps::petstore::PetStoreApp app;
+  apps::AppDriver driver = app.driver();
+  core::ExperimentSpec spec = bench::base_spec();
+  spec.duration = sim::sec(20);
+  spec.warmup = sim::sec(4);
+
+  auto emit = [&](const char* jobs, const std::string& path) {
+    ScopedEnv jenv("MUTSVC_JOBS", jobs);
+    ScopedEnv penv("MUTSVC_BENCH_JSON", path.c_str());
+    bench::LadderRun run = bench::run_ladder(driver, core::petstore_calibration(), spec);
+    bench::maybe_write_ladder_json("petstore", run);
+  };
+  emit("1", "sweep_test_ladder_j1.json");
+  emit("8", "sweep_test_ladder_j8.json");
+
+  const std::string j1 = json_without_wall_lines("sweep_test_ladder_j1.json");
+  const std::string j8 = json_without_wall_lines("sweep_test_ladder_j8.json");
+  EXPECT_FALSE(j1.empty());
+  EXPECT_EQ(j1, j8);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#pragma once
+
+// Host-side performance measurement + benchstat-style JSON emission.
+//
+// Lives under tools/ (not src/) on purpose: wall-clock time sources are
+// banned from simulation code by simlint's wall-clock rule, and this header
+// is the one sanctioned place where benches touch the host clock. Bench
+// sources include it and call the wrappers; no banned token appears in
+// linted directories.
+//
+// JSON convention: metric names prefixed `wall_` are host-dependent
+// (wall-clock durations, throughput per wall second, RSS, worker count) and
+// are exempt from the bit-identical determinism contract; every other
+// metric must be identical across runs and MUTSVC_JOBS values. Tools and
+// tests that diff bench JSON ignore `wall_*` lines only.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mutsvc::perf {
+
+/// Wall-clock stopwatch (monotonic).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Peak resident set size of this process, in bytes.
+[[nodiscard]] inline std::int64_t peak_rss_bytes() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // Linux: ru_maxrss in KiB
+}
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+struct Benchmark {
+  std::string name;
+  std::vector<Metric> metrics;
+
+  Benchmark& add(std::string metric, double value) {
+    metrics.push_back(Metric{std::move(metric), value});
+    return *this;
+  }
+};
+
+/// Formats a double with enough digits to round-trip, without trailing
+/// noise for integral values ("5860249" rather than "5.86025e+06").
+[[nodiscard]] inline std::string format_number(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) && v > -1e15 && v < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+[[nodiscard]] inline std::string to_json(const std::string& bench,
+                                         const std::vector<Benchmark>& benchmarks) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"mutsvc-bench/v1\",\n  \"bench\": \"" << bench
+     << "\",\n  \"benchmarks\": [\n";
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    os << "    {\"name\": \"" << benchmarks[b].name << "\", \"metrics\": {\n";
+    const auto& ms = benchmarks[b].metrics;
+    for (std::size_t m = 0; m < ms.size(); ++m) {
+      os << "      \"" << ms[m].name << "\": " << format_number(ms[m].value)
+         << (m + 1 < ms.size() ? "," : "") << "\n";
+    }
+    os << "    }}" << (b + 1 < benchmarks.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+inline void write_bench_json(const std::string& path, const std::string& bench,
+                             const std::vector<Benchmark>& benchmarks) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("perfjson: cannot write " + path);
+  out << to_json(bench, benchmarks);
+}
+
+/// Output path override: $MUTSVC_BENCH_JSON when set, else `fallback`.
+[[nodiscard]] inline std::string bench_json_path_or(const char* fallback) {
+  if (const char* env = std::getenv("MUTSVC_BENCH_JSON")) {
+    if (*env != '\0') return env;
+  }
+  return fallback;
+}
+
+}  // namespace mutsvc::perf

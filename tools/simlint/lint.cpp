@@ -484,6 +484,36 @@ void rule_lock_balance(const FileCtx& ctx, std::vector<Finding>& out) {
   }
 }
 
+// --- rule: sim-shared-across-threads -----------------------------------------
+
+/// The simulation kernel is single-threaded by design: a Simulator, its
+/// event heap, and everything hanging off it must be confined to one
+/// thread. A file that both names the Simulator type and spawns OS threads
+/// is the signature of sharing a simulation across threads. The one
+/// sanctioned crossing point is core/sweep.cpp, which fans out *whole
+/// trials* — each thread owns its own Simulator — and its test.
+void rule_sim_shared_across_threads(const FileCtx& ctx, std::vector<Finding>& out) {
+  bool names_simulator = false;
+  for (const std::string& line : ctx.code) {
+    if (has_token(line, "Simulator", false)) {
+      names_simulator = true;
+      break;
+    }
+  }
+  if (!names_simulator) return;
+  static const char* kThreadTokens[] = {"std::thread", "std::jthread"};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    for (const char* tok : kThreadTokens) {
+      if (has_token(ctx.code[i], tok, false)) {
+        add_finding(out, ctx, static_cast<int>(i + 1), "sim-shared-across-threads",
+                    std::string("'") + tok +
+                        "' in a file that names sim::Simulator — simulations are "
+                        "single-threaded; parallelize whole trials via core::sweep instead");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -494,6 +524,7 @@ const std::vector<RuleInfo>& rules() {
       {"lost-task", "sim::Task created but never awaited/moved/spawned"},
       {"lock-balance", "acquire() with no release() anywhere in the file"},
       {"nodiscard-task", "Task-returning declaration missing [[nodiscard]]"},
+      {"sim-shared-across-threads", "OS threads in a file that names sim::Simulator"},
   };
   return kRules;
 }
@@ -511,6 +542,7 @@ std::vector<Finding> lint_source(const std::string& path, const std::string& sou
   rule_lost_task(ctx, out);
   rule_lock_balance(ctx, out);
   rule_nodiscard_task(ctx, out);
+  rule_sim_shared_across_threads(ctx, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;

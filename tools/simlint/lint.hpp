@@ -39,6 +39,11 @@ struct RuleInfo {
 ///  nodiscard-task  a Task-returning function declaration without
 ///                  [[nodiscard]] — discarding a lazy task is the lost-task
 ///                  bug at the call site.
+///  sim-shared-across-threads
+///                  std::thread / std::jthread in a file that also names
+///                  sim::Simulator — the kernel is single-threaded; the only
+///                  sanctioned crossing is core/sweep.cpp, which gives each
+///                  worker thread a whole trial (its own Simulator).
 ///
 /// Suppressions: `// simlint:allow(rule1,rule2)` on the finding's line or
 /// the line directly above suppresses those rules there;
