@@ -13,6 +13,10 @@
 //    EventFn inline buffer, exercising the spill path.
 //  - db.indexed_finder: Table::find_equal + for_each_equal probes against a
 //    secondary index (transparent Value comparator, no key materialization).
+//  - experiment.response_hist: a short metrics-enabled Pet Store run whose
+//    response-time histogram is exported as `hist_*` metrics — these are
+//    simulated counts, so benchstat holds them bit-identical across runs
+//    and MUTSVC_JOBS values (wall-clock load on the host cannot move them).
 //
 // MUTSVC_FAST=1 shrinks everything to a CI smoke run.
 #include <cstdint>
@@ -22,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "apps/petstore/petstore.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
 #include "db/table.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -119,6 +126,26 @@ perf::Benchmark bench_indexed_finder() {
   return b;
 }
 
+perf::Benchmark bench_response_hist() {
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.level = core::ConfigLevel::kStatefulComponentCaching;
+  spec.duration = sim::sec(fast_mode() ? 120 : 300);
+  spec.warmup = sim::sec(30);
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  exp.enable_metrics(sim::sec(10));
+  perf::WallTimer timer;
+  exp.run();
+  const double wall = timer.seconds();
+
+  perf::Benchmark b{"experiment.response_hist", {}};
+  b.add("samples", static_cast<double>(exp.results().total_samples()));
+  stats::MetricsRegistry& main = exp.metrics(exp.nodes().main_server);
+  perf::add_histogram(b, "response_ms", main.histogram("response_ms"));
+  b.add("wall_seconds", wall);
+  return b;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -134,6 +161,7 @@ int main(int argc, char** argv) {
   results.push_back(bench_coroutine_timer());
   results.push_back(bench_spilled_events());
   results.push_back(bench_indexed_finder());
+  results.push_back(bench_response_hist());
 
   perf::Benchmark host{"host", {}};
   host.add("wall_peak_rss_bytes", static_cast<double>(perf::peak_rss_bytes()));

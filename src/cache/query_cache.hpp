@@ -44,7 +44,15 @@ class QueryCache {
     entries_[key] = Entry{std::move(rows), version};
   }
 
+  /// Version-monotonic like `fill`: a JMS push reordered or delayed (e.g.
+  /// redelivered after a fault-injector loss) must never clobber newer state
+  /// with older rows.
   void apply_push(const std::string& key, std::vector<db::Row> rows, std::uint64_t version) {
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.version > version) {
+      ++stale_pushes_rejected_;
+      return;
+    }
     ++pushes_applied_;
     entries_[key] = Entry{std::move(rows), version};
   }
@@ -71,11 +79,23 @@ class QueryCache {
 
   void clear() { entries_.clear(); }
 
+  /// Zeroes the hit/miss/push/invalidation counters without touching the
+  /// entries. Trial harnesses call this at the warm/measure boundary so
+  /// per-trial metrics are not cross-contaminated by the warm-up traffic.
+  void reset_stats() {
+    hits_ = 0;
+    misses_ = 0;
+    pushes_applied_ = 0;
+    invalidations_ = 0;
+    stale_pushes_rejected_ = 0;
+  }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t pushes_applied() const { return pushes_applied_; }
   [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+  [[nodiscard]] std::uint64_t stale_pushes_rejected() const { return stale_pushes_rejected_; }
 
   [[nodiscard]] double hit_rate() const {
     auto total = hits_ + misses_;
@@ -88,6 +108,7 @@ class QueryCache {
   std::uint64_t misses_ = 0;
   std::uint64_t pushes_applied_ = 0;
   std::uint64_t invalidations_ = 0;
+  std::uint64_t stale_pushes_rejected_ = 0;
 };
 
 }  // namespace mutsvc::cache

@@ -74,9 +74,16 @@ class ReadOnlyCache {
     entries_[pk] = Entry{std::move(row), version, now};
   }
 
-  /// Applies a pushed update from the read-write master.
+  /// Applies a pushed update from the read-write master. Version-monotonic
+  /// like `fill`: an async-topic push redelivered late (or reordered by the
+  /// fault injector) must not roll the replica back to older state.
   void apply_push(std::int64_t pk, db::Row row, std::uint64_t version,
                   sim::SimTime now = sim::SimTime::origin()) {
+    auto it = entries_.find(pk);
+    if (it != entries_.end() && it->second.version > version) {
+      ++stale_pushes_rejected_;
+      return;
+    }
     ++pushes_applied_;
     entries_[pk] = Entry{std::move(row), version, now};
   }
@@ -92,12 +99,25 @@ class ReadOnlyCache {
     entries_.clear();
   }
 
+  /// Zeroes every counter without touching the entries (see
+  /// QueryCache::reset_stats).
+  void reset_stats() {
+    hits_ = 0;
+    misses_ = 0;
+    pushes_applied_ = 0;
+    invalidations_ = 0;
+    stale_fills_rejected_ = 0;
+    stale_pushes_rejected_ = 0;
+    timeout_invalidations_ = 0;
+  }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t pushes_applied() const { return pushes_applied_; }
   [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
   [[nodiscard]] std::uint64_t stale_fills_rejected() const { return stale_fills_rejected_; }
+  [[nodiscard]] std::uint64_t stale_pushes_rejected() const { return stale_pushes_rejected_; }
   [[nodiscard]] std::uint64_t timeout_invalidations() const { return timeout_invalidations_; }
 
   [[nodiscard]] double hit_rate() const {
@@ -113,6 +133,7 @@ class ReadOnlyCache {
   std::uint64_t pushes_applied_ = 0;
   std::uint64_t invalidations_ = 0;
   std::uint64_t stale_fills_rejected_ = 0;
+  std::uint64_t stale_pushes_rejected_ = 0;
   std::uint64_t timeout_invalidations_ = 0;
 };
 

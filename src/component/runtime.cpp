@@ -12,7 +12,14 @@ const DeploymentPlan& CallContext::plan() const { return rt_.plan(); }
 bool CallContext::has(Feature f) const { return rt_.plan().has(f); }
 
 sim::Task<void> CallContext::cpu(sim::Duration d) {
-  return rt_.topology().node(node_).cpu->consume(d);
+  if (trace_ == nullptr) return rt_.topology().node(node_).cpu->consume(d);
+  // Traced: bill the consume (including CPU queueing) so the flat totals
+  // stay additive with the measured response time.
+  return [](Runtime& rt, net::NodeId node, sim::Duration d, TraceSink* trace) -> sim::Task<void> {
+    const sim::SimTime t0 = rt.simulator().now();
+    co_await rt.topology().node(node).cpu->consume(d);
+    trace->add(SpanKind::kCpu, rt.simulator().now() - t0);
+  }(rt_, node_, d, trace_);
 }
 
 namespace {
@@ -139,6 +146,64 @@ cache::QueryCache& Runtime::query_cache(net::NodeId node) {
   return *it->second;
 }
 
+void Runtime::reset_cache_stats() {
+  for (auto& [key, cache] : ro_caches_) cache->reset_stats();
+  for (auto& [node, qc] : query_caches_) qc->reset_stats();
+}
+
+void Runtime::sample_metrics(sim::SimTime now, sim::Duration window) {
+  for (const auto& [key, cache] : ro_caches_) {
+    stats::MetricsRegistry& m = metrics(key.first);
+    const std::string p = "rocache." + key.second + ".";
+    m.set_counter(p + "hits", cache->hits());
+    m.set_counter(p + "misses", cache->misses());
+    m.set_counter(p + "pushes_applied", cache->pushes_applied());
+    m.set_counter(p + "invalidations", cache->invalidations());
+    m.set_counter(p + "stale_fills_rejected", cache->stale_fills_rejected());
+    m.set_counter(p + "stale_pushes_rejected", cache->stale_pushes_rejected());
+    m.set_gauge(p + "hit_rate", cache->hit_rate());
+    m.series(p + "size", window).add(now, static_cast<double>(cache->size()));
+  }
+  for (const auto& [node, qc] : query_caches_) {
+    stats::MetricsRegistry& m = metrics(node);
+    m.set_counter("qcache.hits", qc->hits());
+    m.set_counter("qcache.misses", qc->misses());
+    m.set_counter("qcache.pushes_applied", qc->pushes_applied());
+    m.set_counter("qcache.invalidations", qc->invalidations());
+    m.set_counter("qcache.stale_pushes_rejected", qc->stale_pushes_rejected());
+    m.set_gauge("qcache.hit_rate", qc->hit_rate());
+    m.series("qcache.size", window).add(now, static_cast<double>(qc->size()));
+  }
+  stats::MetricsRegistry& m = metrics(plan_.main_server());
+  if (topic_ != nullptr) {
+    m.set_counter("topic.updates.published", topic_->published());
+    m.set_counter("topic.updates.delivered", topic_->delivered());
+    m.set_counter("topic.updates.delivery_retries", topic_->delivery_retries());
+    m.set_gauge("topic.updates.queue_depth", static_cast<double>(topic_->queue_depth()));
+    m.series("topic.updates.pending", window).add(now, static_cast<double>(topic_->pending()));
+  }
+  for (const auto& [edge, q] : write_queues_) {
+    m.series("writequeue." + topo_.node(edge).name + ".pending", window)
+        .add(now, static_cast<double>(q->pending()));
+  }
+  m.set_counter("runtime.blocking_pushes", blocking_pushes_);
+  m.set_counter("runtime.failed_pushes", failed_pushes_);
+  m.set_counter("runtime.async_publishes", async_publishes_);
+  m.set_counter("runtime.bounded_waits", bounded_waits_);
+  m.set_counter("runtime.degraded_reads", degraded_reads_);
+  m.set_counter("runtime.queued_writes", queued_writes_);
+  m.set_counter("runtime.queued_writes_applied", queued_writes_applied_);
+  m.set_counter("runtime.queued_writes_dropped", queued_writes_dropped_);
+  m.set_counter("runtime.cache_rewarms", cache_rewarms_);
+  // Replica staleness vs. the plan's TACT bound: the observed mean version
+  // lag should stay at 0 under blocking push and within the bound under
+  // async updates.
+  m.set_counter("consistency.stale_reads", consistency_.stale_reads());
+  m.set_gauge("consistency.stale_fraction", consistency_.stale_fraction());
+  m.set_gauge("consistency.staleness_bound", static_cast<double>(plan_.staleness_bound()));
+  m.series("consistency.mean_version_lag", window).add(now, consistency_.mean_version_lag());
+}
+
 void Runtime::clear_node_caches(net::NodeId node) {
   ++cache_rewarms_;
   for (auto& [key, cache] : ro_caches_) {
@@ -232,7 +297,9 @@ sim::Task<CallResult> Runtime::call_from(net::NodeId caller, std::string comp_na
 
   CallResult out;
   if (target == caller) {
+    const sim::SimTime c0 = sim_.now();
     co_await topo_.node(caller).cpu->consume(cfg_.local_dispatch);
+    if (trace) trace->add(SpanKind::kCpu, sim_.now() - c0);
     co_await dispatch(caller, comp, method, std::move(args), &out.rows, trace);
     co_return out;
   }
@@ -246,21 +313,19 @@ sim::Task<CallResult> Runtime::call_from(net::NodeId caller, std::string comp_na
   const bool need_stub =
       !plan_.has(Feature::kStubCaching) || stubs_.need_stub_exchange(caller, comp_name);
   if (need_stub) {
-    const sim::SimTime s0 = sim_.now();
-    co_await rmi_.stub_exchange(caller, target);
-    if (trace) trace->add(SpanKind::kStub, sim_.now() - s0);
+    co_await rmi_.stub_exchange(caller, target, trace);
   }
 
+  // The transport owns the wire span + exclusive rmi-wire accounting; the
+  // dispatched body opens child spans of its own.
   const net::Bytes args_size = method.args_bytes + values_bytes(args);
-  const sim::SimTime t0 = sim_.now();
-  sim::Duration server_work = sim::Duration::zero();
-  co_await rmi_.call_dynamic(caller, target, args_size, [&]() -> sim::Task<net::Bytes> {
-    const sim::SimTime w0 = sim_.now();
-    co_await dispatch(target, comp, method, std::move(args), &out.rows, trace);
-    server_work = sim_.now() - w0;
-    co_return method.result_bytes + rows_bytes(out.rows);
-  });
-  if (trace) trace->add(SpanKind::kRmiWire, (sim_.now() - t0) - server_work);
+  co_await rmi_.call_dynamic(
+      caller, target, args_size,
+      [&]() -> sim::Task<net::Bytes> {
+        co_await dispatch(target, comp, method, std::move(args), &out.rows, trace);
+        co_return method.result_bytes + rows_bytes(out.rows);
+      },
+      trace);
   co_return out;
 }
 
@@ -270,11 +335,21 @@ sim::Task<void> Runtime::dispatch(net::NodeId node, const ComponentDef& comp,
   {
     const sim::SimTime c0 = sim_.now();
     co_await topo_.node(node).cpu->consume(method.cpu);
-    if (trace) trace->add(SpanKind::kCpu, sim_.now() - c0);
+    if (trace) {
+      const sim::SimTime c1 = sim_.now();
+      trace->add(SpanKind::kCpu, c1 - c0);
+      trace->leaf(SpanKind::kCpu, "cpu:" + comp.name() + "." + method.name, node.value(),
+                  node.value(), c0, c1);
+    }
   }
   if (method.latency > sim::Duration::zero()) {
+    const sim::SimTime l0 = sim_.now();
     co_await sim_.wait(method.latency);
-    if (trace) trace->add(SpanKind::kLatency, method.latency);
+    if (trace) {
+      trace->add(SpanKind::kLatency, method.latency);
+      trace->leaf(SpanKind::kLatency, "container:" + comp.name() + "." + method.name,
+                  node.value(), node.value(), l0, sim_.now());
+    }
   }
   if (method.body) {
     CallContext ctx{*this, node, comp, method, std::move(args)};
@@ -331,19 +406,28 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
     // upon the first business method call after the invalidation", §4.3).
     std::optional<db::Row> fetched;
     std::uint64_t version = 0;
-    const sim::SimTime t0 = sim_.now();
-    sim::Duration server_work = sim::Duration::zero();
     bool refreshed = false;
     try {
-      co_await rmi_.call_dynamic(node, primary, 64, [&]() -> sim::Task<net::Bytes> {
-        const sim::SimTime w0 = sim_.now();
-        co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
-        db::QueryResult res = co_await jdbc_for(primary).execute(db::Query::pk_lookup(table, pk));
-        if (!res.rows.empty()) fetched = std::move(res.rows[0]);
-        version = consistency_.master_version(vkey);
-        server_work = sim_.now() - w0;
-        co_return res.wire_bytes();
-      });
+      // The transport bills the exclusive wire time; the server-side body
+      // accounts its own window under kJdbc, keeping the totals additive.
+      co_await rmi_.call_dynamic(
+          node, primary, 64,
+          [&]() -> sim::Task<net::Bytes> {
+            const sim::SimTime w0 = sim_.now();
+            co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
+            db::QueryResult res =
+                co_await jdbc_for(primary).execute(db::Query::pk_lookup(table, pk));
+            if (!res.rows.empty()) fetched = std::move(res.rows[0]);
+            version = consistency_.master_version(vkey);
+            if (trace) {
+              const sim::SimTime w1 = sim_.now();
+              trace->add(SpanKind::kJdbc, w1 - w0);
+              trace->leaf(SpanKind::kJdbc, "refresh:" + entity, primary.value(), primary.value(),
+                          w0, w1);
+            }
+            co_return res.wire_bytes();
+          },
+          trace);
       refreshed = true;
     } catch (const net::NetError&) {
       if (!may_degrade) throw;
@@ -357,10 +441,6 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
       }
       throw net::DeliveryError("Runtime: read of " + vkey +
                                " failed with no usable replica entry");
-    }
-    if (trace) {
-      trace->add(SpanKind::kJdbc, server_work);
-      trace->add(SpanKind::kRmiWire, (sim_.now() - t0) - server_work);
     }
     if (fetched.has_value()) {
       cache.fill(pk, *fetched, version, sim_.now());
@@ -383,15 +463,13 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
   if (node == primary) co_return co_await read_at_primary();
 
   std::optional<db::Row> fetched;
-  const sim::SimTime t0 = sim_.now();
-  sim::Duration server_work = sim::Duration::zero();
-  co_await rmi_.call_dynamic(node, primary, 64, [&]() -> sim::Task<net::Bytes> {
-    const sim::SimTime w0 = sim_.now();
-    fetched = co_await read_at_primary();
-    server_work = sim_.now() - w0;
-    co_return fetched ? db::wire_size(*fetched) + 16 : 16;
-  });
-  if (trace) trace->add(SpanKind::kRmiWire, (sim_.now() - t0) - server_work);
+  co_await rmi_.call_dynamic(
+      node, primary, 64,
+      [&]() -> sim::Task<net::Bytes> {
+        fetched = co_await read_at_primary();
+        co_return fetched ? db::wire_size(*fetched) + 16 : 16;
+      },
+      trace);
   co_return fetched;
 }
 
@@ -429,25 +507,28 @@ sim::Task<db::QueryResult> Runtime::query_at_main(net::NodeId from, db::Query q,
   }
   // One façade RMI to the main server, which runs the query next to the DB.
   db::QueryResult res;
-  const sim::SimTime t0 = sim_.now();
-  sim::Duration server_work = sim::Duration::zero();
-  co_await rmi_.call_dynamic(from, primary, 128, [&]() -> sim::Task<net::Bytes> {
-    const sim::SimTime w0 = sim_.now();
-    co_await topo_.node(primary).cpu->consume(cfg_.local_dispatch);
-    res = co_await jdbc_for(primary).execute(q);
-    server_work = sim_.now() - w0;
-    co_return res.wire_bytes();
-  });
-  if (trace) {
-    trace->add(SpanKind::kJdbc, server_work);
-    trace->add(SpanKind::kRmiWire, (sim_.now() - t0) - server_work);
-  }
+  co_await rmi_.call_dynamic(
+      from, primary, 128,
+      [&]() -> sim::Task<net::Bytes> {
+        const sim::SimTime w0 = sim_.now();
+        co_await topo_.node(primary).cpu->consume(cfg_.local_dispatch);
+        res = co_await jdbc_for(primary).execute(q);
+        if (trace) {
+          const sim::SimTime w1 = sim_.now();
+          trace->add(SpanKind::kJdbc, w1 - w0);
+          trace->leaf(SpanKind::kJdbc, "query:" + q.table, primary.value(), primary.value(),
+                      w0, w1);
+        }
+        co_return res.wire_bytes();
+      },
+      trace);
   co_return res;
 }
 
 sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
                                     std::string entity, db::Query write,
-                                    std::vector<db::Query> affected_queries) {
+                                    std::vector<db::Query> affected_queries, TraceSink* trace) {
+  if (ctx != nullptr) trace = ctx->trace_;
   const net::NodeId primary = plan_.main_server();
   if (node != primary) {
     const net::Bytes wire = 96 + values_bytes(write.row);
@@ -459,7 +540,9 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
       // GCC 12 miscompiles braced temporaries inside co_await expressions
       // (bitwise frame spill) — build a named local instead.
       QueuedWrite queued{entity, write, affected_queries};
-      co_await write_queue(node).publish(node, std::move(queued), wire);
+      const sim::SimTime q0 = sim_.now();
+      co_await write_queue(node).publish(node, std::move(queued), wire, trace);
+      if (trace) trace->add(SpanKind::kPublish, sim_.now() - q0);
       co_return;
     }
     // Route through the façade co-located with the data source. The remote
@@ -467,10 +550,13 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
     // inputs: a failed attempt must leave them intact for the queue path.)
     bool ok = false;
     try {
-      co_await rmi_.call_dynamic(node, primary, wire, [&]() -> sim::Task<net::Bytes> {
-        co_await write_impl(nullptr, primary, entity, write, affected_queries);
-        co_return 32;
-      });
+      co_await rmi_.call_dynamic(
+          node, primary, wire,
+          [&]() -> sim::Task<net::Bytes> {
+            co_await write_impl(nullptr, primary, entity, write, affected_queries, trace);
+            co_return 32;
+          },
+          trace);
       ok = true;
     } catch (const net::NetError&) {
       if (!may_queue) throw;
@@ -478,12 +564,12 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
     if (!ok) {
       ++queued_writes_;
       QueuedWrite queued{std::move(entity), std::move(write), std::move(affected_queries)};
-      co_await write_queue(node).publish(node, std::move(queued), wire);
+      const sim::SimTime q0 = sim_.now();
+      co_await write_queue(node).publish(node, std::move(queued), wire, trace);
+      if (trace) trace->add(SpanKind::kPublish, sim_.now() - q0);
     }
     co_return;
   }
-
-  TraceSink* trace = ctx != nullptr ? ctx->trace_ : nullptr;
   const std::int64_t pk =
       write.kind == db::QueryKind::kInsert ? db::as_int(write.row.at(0)) : write.pk;
   const LockManager::Key lock_key{entity, pk};
@@ -497,7 +583,14 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
   if (!already_held) {
     const sim::SimTime l0 = sim_.now();
     co_await locks_.acquire(lock_key, actor);
-    if (trace) trace->add(SpanKind::kLockWait, sim_.now() - l0);
+    if (trace) {
+      const sim::SimTime l1 = sim_.now();
+      trace->add(SpanKind::kLockWait, l1 - l0);
+      if (l1 > l0) {
+        trace->leaf(SpanKind::kLockWait, "lock:" + entity, primary.value(), primary.value(), l0,
+                    l1);
+      }
+    }
   }
   if (ctx != nullptr && !already_held) ctx->tx_locks_.push_back(lock_key);
 
@@ -509,7 +602,11 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
     const sim::SimTime j0 = sim_.now();
     co_await topo_.node(primary).cpu->consume(cfg_.entity_access);
     (void)co_await jdbc_for(primary).execute(write);
-    if (trace) trace->add(SpanKind::kJdbc, sim_.now() - j0);
+    if (trace) {
+      const sim::SimTime j1 = sim_.now();
+      trace->add(SpanKind::kJdbc, j1 - j0);
+      trace->leaf(SpanKind::kJdbc, "write:" + entity, primary.value(), primary.value(), j0, j1);
+    }
   } catch (...) {
     if (ctx == nullptr && !already_held) locks_.release(lock_key);
     throw;
@@ -525,7 +622,7 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
   // Standalone write: commit immediately.
   std::vector<CallContext::PendingWrite> writes{CallContext::PendingWrite{entity, pk}};
   try {
-    co_await propagate(writes, affected_queries, nullptr);
+    co_await propagate(writes, affected_queries, trace);
   } catch (...) {
     locks_.release(lock_key);
     throw;
@@ -653,8 +750,18 @@ sim::Task<void> Runtime::push_blocking(cache::UpdateBatch batch, TraceSink* trac
   // read-only beans" — one bulk façade RMI per edge, in sequence, holding
   // the transaction open.
   const net::NodeId primary = plan_.main_server();
+  // One umbrella span for the whole push phase with one child leaf per edge,
+  // so a traced Commit page shows the sequential wide-area pushes as
+  // distinct children. The flat total is billed once for the umbrella; the
+  // per-edge updater RMIs deliberately run untraced (their wire time IS the
+  // push time — tracing both would double-bill).
+  const std::uint32_t span =
+      trace != nullptr
+          ? trace->begin_span(SpanKind::kPush, "push", primary.value(), primary.value(), p0)
+          : 0;
   const net::Bytes bytes = batch.wire_bytes(cfg_.delta_encoding);
   for (net::NodeId edge : update_targets()) {
+    const sim::SimTime e0 = sim_.now();
     try {
       ++blocking_pushes_;
       co_await update_rmi_->call_dynamic(primary, edge, bytes, [&]() -> sim::Task<net::Bytes> {
@@ -668,13 +775,26 @@ sim::Task<void> Runtime::push_blocking(cache::UpdateBatch batch, TraceSink* trac
       // freshness during failures).
       ++failed_pushes_;
     }
+    if (trace) {
+      trace->leaf(SpanKind::kPush, "push:" + topo_.node(edge).name, primary.value(),
+                  edge.value(), e0, sim_.now());
+    }
   }
-  if (trace) trace->add(SpanKind::kPush, sim_.now() - p0);
+  if (trace) {
+    const sim::SimTime p1 = sim_.now();
+    trace->add(SpanKind::kPush, p1 - p0);
+    trace->end_span(span, p1);
+  }
 }
 
 sim::Task<void> Runtime::publish_async(cache::UpdateBatch batch, TraceSink* trace) {
   const sim::SimTime p0 = sim_.now();
   if (topic_ == nullptr) throw std::logic_error("Runtime: async updates without a topic");
+  const std::uint32_t span =
+      trace != nullptr
+          ? trace->begin_span(SpanKind::kPublish, "publish", plan_.main_server().value(),
+                              plan_.main_server().value(), p0)
+          : 0;
   ++async_publishes_;
   // TACT-style order-error bound: block the writer while the slowest
   // replica lags more than the configured number of batches.
@@ -689,8 +809,12 @@ sim::Task<void> Runtime::publish_async(cache::UpdateBatch batch, TraceSink* trac
   // The writer only waits for the local provider to accept the message.
   co_await sim_.wait(cfg_.jms_accept);
   const net::Bytes bytes = batch.wire_bytes(cfg_.delta_encoding);
-  co_await topic_->publish(plan_.main_server(), std::move(batch), bytes);
-  if (trace) trace->add(SpanKind::kPublish, sim_.now() - p0);
+  co_await topic_->publish(plan_.main_server(), std::move(batch), bytes, trace);
+  if (trace) {
+    const sim::SimTime p1 = sim_.now();
+    trace->add(SpanKind::kPublish, p1 - p0);
+    trace->end_span(span, p1);
+  }
 }
 
 sim::Task<void> Runtime::apply_batch(net::NodeId node, const cache::UpdateBatch& batch) {

@@ -24,6 +24,7 @@
 #include "net/network.hpp"
 #include "net/rmi.hpp"
 #include "sim/task.hpp"
+#include "stats/metrics.hpp"
 
 namespace mutsvc::comp {
 
@@ -211,6 +212,31 @@ class Runtime {
   /// QueryCache, and the cached remote stubs held at `node`.
   void clear_node_caches(net::NodeId node);
 
+  /// Zeroes the hit/miss/push counters of every cache without touching the
+  /// cached entries. Trial harnesses call this at the warm/measure boundary
+  /// so per-trial metrics are not contaminated by warm-up traffic.
+  void reset_cache_stats();
+
+  // --- per-node metrics ----------------------------------------------------
+  /// The metrics registry for `node` (created on first use).
+  [[nodiscard]] stats::MetricsRegistry& metrics(net::NodeId node) { return metrics_[node]; }
+  [[nodiscard]] const std::map<net::NodeId, stats::MetricsRegistry>& metrics_by_node() const {
+    return metrics_;
+  }
+
+  /// Attaches the application and update transports' live resilience
+  /// counters (retries, timeouts, breaker transitions) to the main server's
+  /// registry.
+  void enable_transport_metrics() {
+    rmi_.set_metrics(&metrics(plan_.main_server()), "rmi.");
+    update_rmi_->set_metrics(&metrics(plan_.main_server()), "push_rmi.");
+  }
+
+  /// Snapshots cache / topic / consistency / degradation counters into the
+  /// per-node registries and records one TimeSeries sample per gauge-like
+  /// quantity. Read-only: sampling never perturbs the simulation.
+  void sample_metrics(sim::SimTime now, sim::Duration window);
+
   /// The read-write master's binding to its table, via the Application.
   void bind_entity(const std::string& entity, std::string table) {
     entity_tables_[entity] = std::move(table);
@@ -313,10 +339,13 @@ class Runtime {
 
   /// Applies one write. When `ctx` is non-null the write joins the calling
   /// method's transaction (deferred propagation); a null ctx commits it as
-  /// a standalone transaction.
+  /// a standalone transaction, tracing into `trace` (the edge->primary write
+  /// route threads the caller's sink through so the remote commit's lock,
+  /// JDBC and push time stay on the traced request's books).
   [[nodiscard]] sim::Task<void> write_impl(CallContext* ctx, net::NodeId node,
                                            std::string entity, db::Query write,
-                                           std::vector<db::Query> affected_queries);
+                                           std::vector<db::Query> affected_queries,
+                                           TraceSink* trace = nullptr);
 
   /// Commits the transaction accumulated in `ctx`: builds one update batch,
   /// propagates it per the plan's update mode, bumps master versions at the
@@ -379,6 +408,7 @@ class Runtime {
   std::unique_ptr<msg::Topic<cache::UpdateBatch>> topic_;
   std::map<net::NodeId, std::unique_ptr<msg::Topic<QueuedWrite>>> write_queues_;
   InteractionProfile profile_;
+  std::map<net::NodeId, stats::MetricsRegistry> metrics_;
 
   std::uint64_t blocking_pushes_ = 0;
   std::uint64_t failed_pushes_ = 0;

@@ -1,71 +1,16 @@
 #pragma once
 
-#include <array>
-#include <cstddef>
-
-#include "sim/time.hpp"
+// The trace model lives in stats/ (stats depends only on sim/), so the
+// transports (net/rmi, net/http, messaging/topic) can open spans without a
+// dependency on the component layer. These aliases keep the historical
+// comp::TraceSink spelling working for the runtime and every existing test.
+#include "stats/trace.hpp"
 
 namespace mutsvc::comp {
 
-/// Where a request's time went. Categories are designed to be additive:
-/// nested work (e.g. the server-side portion of an RMI call) is recorded
-/// under its own category and excluded from the enclosing wire time.
-enum class SpanKind : std::size_t {
-  kHttpWire,    // TCP handshake + request/response transfer
-  kQueueing,    // waiting for a container thread
-  kCpu,         // method CPU demand (incl. CPU queueing)
-  kLatency,     // non-CPU container residence (MethodDef::latency)
-  kCacheRead,   // read-only / query-cache access
-  kJdbc,        // database statements incl. wire and DB service time
-  kRmiWire,     // wide/local-area RMI transfer time (server work excluded)
-  kStub,        // JNDI home / remote stub acquisition
-  kLockWait,    // entity lock contention
-  kPush,        // blocking update propagation (§4.3)
-  kPublish,     // async publish incl. staleness-bound stalls (§4.5)
-  kCount_,
-};
-
-[[nodiscard]] constexpr const char* to_string(SpanKind k) {
-  switch (k) {
-    case SpanKind::kHttpWire: return "http-wire";
-    case SpanKind::kQueueing: return "thread-queue";
-    case SpanKind::kCpu: return "cpu";
-    case SpanKind::kLatency: return "container";
-    case SpanKind::kCacheRead: return "cache";
-    case SpanKind::kJdbc: return "jdbc";
-    case SpanKind::kRmiWire: return "rmi-wire";
-    case SpanKind::kStub: return "stub";
-    case SpanKind::kLockWait: return "lock-wait";
-    case SpanKind::kPush: return "push";
-    case SpanKind::kPublish: return "publish";
-    case SpanKind::kCount_: break;
-  }
-  return "?";
-}
-
-/// Accumulates span durations for one traced request. Pass a pointer into
-/// Runtime::invoke (and Experiment::execute_traced); a null sink disables
-/// tracing with zero overhead.
-class TraceSink {
- public:
-  void add(SpanKind kind, sim::Duration d) {
-    totals_[static_cast<std::size_t>(kind)] += d;
-  }
-
-  [[nodiscard]] sim::Duration total(SpanKind kind) const {
-    return totals_[static_cast<std::size_t>(kind)];
-  }
-
-  [[nodiscard]] sim::Duration sum() const {
-    sim::Duration s = sim::Duration::zero();
-    for (const auto& d : totals_) s += d;
-    return s;
-  }
-
-  void clear() { totals_.fill(sim::Duration::zero()); }
-
- private:
-  std::array<sim::Duration, static_cast<std::size_t>(SpanKind::kCount_)> totals_{};
-};
+using SpanKind = stats::SpanKind;
+using TraceSink = stats::TraceSink;
+using TraceSpan = stats::Span;
+using stats::to_string;
 
 }  // namespace mutsvc::comp

@@ -101,15 +101,22 @@ sim::Task<bool> Experiment::execute(net::NodeId client_node,
 sim::Task<void> Experiment::execute_at(net::NodeId client_node, net::NodeId server,
                                        const workload::PageRequest& request,
                                        comp::TraceSink* trace) {
-  const sim::SimTime t0 = sim_.now();
-  sim::Duration server_time = sim::Duration::zero();
+  // The HTTP transport owns the root span and the exclusive http-wire
+  // accounting (elapsed minus the handler's window); the handler bills the
+  // thread-pool wait and everything the runtime does below it.
   co_await http_.request(client_node, server, request.request_bytes,
-                         [this, server, &request, trace,
-                          &server_time]() -> sim::Task<net::Bytes> {
+                         [this, server, &request, trace]() -> sim::Task<net::Bytes> {
                            const sim::SimTime s0 = sim_.now();
                            sim::FifoResource& pool = thread_pool(server);
                            co_await pool.acquire();
-                           if (trace) trace->add(comp::SpanKind::kQueueing, sim_.now() - s0);
+                           if (trace) {
+                             const sim::SimTime s1 = sim_.now();
+                             trace->add(comp::SpanKind::kQueueing, s1 - s0);
+                             if (s1 > s0) {
+                               trace->leaf(comp::SpanKind::kQueueing, "thread-queue",
+                                           server.value(), server.value(), s0, s1);
+                             }
+                           }
                            try {
                              (void)co_await runtime_->invoke(server, request.component,
                                                              request.method, request.args,
@@ -119,17 +126,31 @@ sim::Task<void> Experiment::execute_at(net::NodeId client_node, net::NodeId serv
                              throw;
                            }
                            pool.release();
-                           server_time = sim_.now() - s0;
                            co_return request.response_bytes;
-                         });
-  if (trace) trace->add(comp::SpanKind::kHttpWire, (sim_.now() - t0) - server_time);
+                         },
+                         trace);
 }
 
 sim::Task<void> Experiment::execute_traced(net::NodeId client_node,
                                            const workload::PageRequest& request,
                                            comp::TraceSink& sink) {
+  sink.set_trace_id(++trace_counter_);
   const net::NodeId server = runtime_->plan().entry_point(client_node);
   co_await execute_at(client_node, server, request, &sink);
+}
+
+void Experiment::enable_metrics(sim::Duration window) {
+  metrics_window_ = window;
+  runtime_->enable_transport_metrics();
+  stats::Histogram& h = runtime_->metrics(nodes_.main_server).histogram("response_ms");
+  collector_.set_observer([&h](double ms) { h.observe(ms); });
+}
+
+sim::Task<void> Experiment::metrics_sampler(sim::SimTime end) {
+  while (sim_.now() < end) {
+    co_await sim_.wait(metrics_window_);
+    runtime_->sample_metrics(sim_.now(), metrics_window_);
+  }
 }
 
 void Experiment::run() {
@@ -155,6 +176,10 @@ void Experiment::run() {
   for (std::size_t i = 0; i < nodes_.remote_clients.size(); ++i) {
     start_group(nodes_.remote_clients[i], stats::ClientGroup::kRemote,
                 "remote-" + std::to_string(i));
+  }
+
+  if (metrics_window_ > sim::Duration::zero()) {
+    sim_.spawn(metrics_sampler(end));
   }
 
   // Utilization accounting starts after warm-up, like the measurements.

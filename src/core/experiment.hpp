@@ -70,6 +70,17 @@ class Experiment final : public workload::RequestExecutor {
 
   /// Enables windowed time-series collection (call before run()).
   void enable_timeseries(sim::Duration window) { collector_.enable_timeseries(window); }
+
+  /// Enables per-node metrics collection (call before run()): the transports
+  /// mirror their resilience counters live, cache/topic/consistency gauges
+  /// are sampled every `window`, and post-warm-up response times feed a
+  /// fixed-bucket latency histogram ("response_ms") on the main server's
+  /// registry. Off by default — enabling adds only read-only sampling, so
+  /// the simulated trajectory is unchanged.
+  void enable_metrics(sim::Duration window);
+  [[nodiscard]] stats::MetricsRegistry& metrics(net::NodeId node) {
+    return runtime_->metrics(node);
+  }
   [[nodiscard]] comp::Runtime& runtime() { return *runtime_; }
   [[nodiscard]] const TestbedNodes& nodes() const { return nodes_; }
   [[nodiscard]] net::Network& network() { return net_; }
@@ -109,6 +120,9 @@ class Experiment final : public workload::RequestExecutor {
                                            const workload::PageRequest& request,
                                            comp::TraceSink* trace = nullptr);
 
+  /// Periodic read-only snapshot of runtime gauges into the registries.
+  [[nodiscard]] sim::Task<void> metrics_sampler(sim::SimTime end);
+
   apps::AppDriver driver_;
   ExperimentSpec spec_;
   HarnessCalibration cal_;
@@ -127,6 +141,8 @@ class Experiment final : public workload::RequestExecutor {
   std::map<net::NodeId, std::unique_ptr<sim::FifoResource>> thread_pools_;
   std::uint64_t failovers_ = 0;
   std::uint64_t dropped_ = 0;
+  sim::Duration metrics_window_ = sim::Duration::zero();
+  std::uint64_t trace_counter_ = 0;
 };
 
 }  // namespace mutsvc::core

@@ -1,13 +1,16 @@
 #pragma once
 
+#include <map>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "apps/common/driver.hpp"
+#include "net/topology.hpp"
 #include "core/design_rules.hpp"
 #include "stats/collector.hpp"
+#include "stats/metrics.hpp"
 #include "stats/table.hpp"
 
 namespace mutsvc::core {
@@ -61,6 +64,51 @@ inline void print_session_averages(std::ostream& os, const apps::AppDriver& driv
                        result.collector->pattern_mean_ms(writer, stats::ClientGroup::kRemote))});
   }
   table.print(os);
+}
+
+/// Prints one node's MetricsRegistry as report sections: counters + gauges,
+/// then each latency histogram's bucket table, then each TimeSeries as
+/// per-window means. Iteration is std::map order, so the output is
+/// deterministic; an empty registry prints nothing at all (reports stay
+/// byte-identical when metrics are off).
+inline void print_metrics(std::ostream& os, const std::string& title,
+                          const stats::MetricsRegistry& reg) {
+  if (reg.empty()) return;
+  os << "== " << title << " ==\n";
+  if (!reg.counters().empty() || !reg.gauges().empty()) {
+    stats::TextTable t{{"Metric", "Value"}};
+    for (const auto& [name, v] : reg.counters()) t.add_row({name, std::to_string(v)});
+    for (const auto& [name, v] : reg.gauges()) t.add_row({name, stats::TextTable::cell_fixed(v, 3)});
+    t.print(os);
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    if (h.count() == 0) continue;
+    os << name << ": count=" << h.count()
+       << " sum_ms=" << stats::TextTable::cell_fixed(h.sum(), 1) << "\n";
+    stats::TextTable t{{"le (ms)", "count"}};
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      t.add_row({stats::TextTable::cell_ms(h.bounds()[i]), std::to_string(h.bucket(i))});
+    }
+    t.add_row({"+inf", std::to_string(h.bucket(h.bounds().size()))});
+    t.print(os);
+  }
+  for (const auto& [name, ts] : reg.all_series()) {
+    os << name << " (window=" << stats::TextTable::cell_fixed(ts.window_width().as_seconds(), 0)
+       << "s, mean/window):";
+    for (double m : ts.window_means()) {
+      os << " " << (m < 0.0 ? std::string{"-"} : stats::TextTable::cell_fixed(m, 2));
+    }
+    os << "\n";
+  }
+}
+
+/// Prints every node's registry (skipping empty ones).
+inline void print_all_metrics(std::ostream& os,
+                              const std::map<net::NodeId, stats::MetricsRegistry>& by_node,
+                              const net::Topology& topo) {
+  for (const auto& [node, reg] : by_node) {
+    print_metrics(os, "Metrics: " + topo.node(node).name, reg);
+  }
 }
 
 }  // namespace mutsvc::core

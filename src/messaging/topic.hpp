@@ -9,6 +9,7 @@
 #include "net/network.hpp"
 #include "net/types.hpp"
 #include "sim/task.hpp"
+#include "stats/trace.hpp"
 
 namespace mutsvc::msg {
 
@@ -44,9 +45,18 @@ class Topic {
 
   /// Publishes a message of marshalled size `bytes`. Completes when the
   /// provider has accepted the message; fan-out continues in the background.
-  [[nodiscard]] sim::Task<void> publish(net::NodeId from, T message, net::Bytes bytes) {
+  /// A TraceSink (publisher-side only) gets a child span for the accept hop;
+  /// the background drain never traces — the sink does not outlive the
+  /// publishing request.
+  [[nodiscard]] sim::Task<void> publish(net::NodeId from, T message, net::Bytes bytes,
+                                        stats::TraceSink* trace = nullptr) {
     ++published_;
+    const sim::SimTime t0 = net_.simulator().now();
     co_await net_.deliver(from, provider_, bytes);
+    if (trace != nullptr) {
+      trace->leaf(stats::SpanKind::kPublish, "jms:" + name_, from.value(), provider_.value(), t0,
+                  net_.simulator().now());
+    }
     auto shared = std::make_shared<const T>(std::move(message));
     for (auto& sub : subscribers_) {
       sub->queue.push_back(Pending{shared, bytes});
@@ -68,6 +78,20 @@ class Topic {
   /// True when every published message has been handled by every subscriber.
   [[nodiscard]] bool quiescent() const {
     return delivered_ == published_ * subscribers_.size();
+  }
+
+  /// Messages accepted by the provider but not yet handled by every
+  /// subscriber (in-flight dispatches included) — the topic's logical queue
+  /// depth, fed into the metrics registry.
+  [[nodiscard]] std::uint64_t pending() const {
+    return published_ * subscribers_.size() - delivered_;
+  }
+
+  /// Sum of the per-subscriber provider-side queue lengths right now.
+  [[nodiscard]] std::size_t queue_depth() const {
+    std::size_t n = 0;
+    for (const auto& sub : subscribers_) n += sub->queue.size();
+    return n;
   }
 
  private:

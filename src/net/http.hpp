@@ -7,6 +7,7 @@
 
 #include "net/network.hpp"
 #include "net/types.hpp"
+#include "stats/trace.hpp"
 
 namespace mutsvc::net {
 
@@ -33,9 +34,13 @@ class HttpTransport {
   HttpTransport& operator=(const HttpTransport&) = delete;
 
   /// Runs one HTTP request. `handler` executes on the server side and
-  /// returns the response body size.
+  /// returns the response body size. With a TraceSink the transport opens
+  /// the request's root span (inclusive, client -> server) and accounts the
+  /// exclusive wire time — handshake plus transfers, server time excluded —
+  /// under SpanKind::kHttpWire.
   [[nodiscard]] sim::Task<void> request(NodeId client, NodeId server, Bytes request_body,
-                                        std::function<sim::Task<Bytes>()> handler);
+                                        std::function<sim::Task<Bytes>()> handler,
+                                        stats::TraceSink* trace = nullptr);
 
   [[nodiscard]] const HttpConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t requests() const { return requests_; }

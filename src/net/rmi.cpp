@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <utility>
 
 #include "sim/simcheck.hpp"
@@ -35,6 +36,17 @@ std::uint64_t RmiTransport::breaker_closes() const {
   std::uint64_t n = 0;
   for (const auto& [node, br] : breakers_) n += br.closed();
   return n;
+}
+
+void RmiTransport::sync_metrics() {
+  if (metrics_ == nullptr) return;
+  metrics_->set_counter(metrics_prefix_ + "retries", retries_);
+  metrics_->set_counter(metrics_prefix_ + "timeouts", timeouts_);
+  metrics_->set_counter(metrics_prefix_ + "failed_calls", failed_calls_);
+  metrics_->set_counter(metrics_prefix_ + "breaker_rejections", breaker_rejections_);
+  metrics_->set_counter(metrics_prefix_ + "breaker.opened", breaker_opens());
+  metrics_->set_counter(metrics_prefix_ + "breaker.half_opened", breaker_half_opens());
+  metrics_->set_counter(metrics_prefix_ + "breaker.closed", breaker_closes());
 }
 
 sim::Duration RmiTransport::backoff_delay(int attempt_no) {
@@ -95,8 +107,11 @@ sim::Task<void> RmiTransport::do_call(NodeId caller, NodeId callee, Bytes args,
   };
 
   for (int attempt_no = 0;; ++attempt_no) {
-    if (!br.allow(net_.simulator().now())) {
+    const bool allowed = br.allow(net_.simulator().now());
+    sync_metrics();  // allow() may have moved the breaker to half-open
+    if (!allowed) {
       ++breaker_rejections_;
+      sync_metrics();
       throw CircuitOpenError("RmiTransport: circuit to callee is open");
     }
     const sim::SimTime t0 = net_.simulator().now();
@@ -114,6 +129,7 @@ sim::Task<void> RmiTransport::do_call(NodeId caller, NodeId callee, Bytes args,
     }
     if (ok) {
       br.on_success(net_.simulator().now());
+      sync_metrics();  // a half-open probe success closes the breaker
       co_return;
     }
     if (silent_loss) {
@@ -126,47 +142,93 @@ sim::Task<void> RmiTransport::do_call(NodeId caller, NodeId callee, Bytes args,
       ++timeouts_;
     }
     br.on_failure(net_.simulator().now());
+    sync_metrics();  // a threshold-crossing failure opens the breaker
     if (attempt_no >= res_.max_retries) {
       ++failed_calls_;
+      sync_metrics();
       throw DeliveryError("RmiTransport: call failed after " +
                           std::to_string(attempt_no + 1) + " attempts");
     }
     ++retries_;
+    sync_metrics();
     co_await net_.simulator().wait(backoff_delay(attempt_no));
   }
 }
 
+sim::Task<void> RmiTransport::traced_call(NodeId caller, NodeId callee, Bytes args,
+                                          std::function<sim::Task<Bytes>()> server_work,
+                                          stats::TraceSink* trace) {
+  if (trace == nullptr) {
+    co_await do_call(caller, callee, args, std::move(server_work));
+    co_return;
+  }
+  const sim::SimTime t0 = net_.simulator().now();
+  const std::uint32_t span = trace->begin_span(stats::SpanKind::kRmiWire, "rmi", caller.value(),
+                                               callee.value(), t0);
+  // Exclusive wire accounting: the server work's duration (measured around
+  // its at-most-once execution) is subtracted from the call's elapsed time,
+  // so nested spans keep the flat totals additive.
+  sim::Duration server_time = sim::Duration::zero();
+  auto timed = [this, &server_time, work = std::move(server_work)]() -> sim::Task<Bytes> {
+    const sim::SimTime w0 = net_.simulator().now();
+    Bytes r = co_await work();
+    server_time += net_.simulator().now() - w0;
+    co_return r;
+  };
+  std::exception_ptr err;
+  try {
+    co_await do_call(caller, callee, args, std::move(timed));
+  } catch (...) {
+    // co_await is illegal in a catch block; close the span outside.
+    err = std::current_exception();
+  }
+  const sim::SimTime end = net_.simulator().now();
+  trace->add(stats::SpanKind::kRmiWire, (end - t0) - server_time);
+  trace->end_span(span, end);
+  if (err) std::rethrow_exception(err);
+}
+
 sim::Task<void> RmiTransport::call(NodeId caller, NodeId callee, Bytes args, Bytes result,
-                                   std::function<sim::Task<void>()> server_work) {
+                                   std::function<sim::Task<void>()> server_work,
+                                   stats::TraceSink* trace) {
   ++calls_;
   if (caller == callee) {
     co_await server_work();
     co_return;
   }
   ++remote_calls_;
-  co_await do_call(caller, callee, args,
-                   [result, work = std::move(server_work)]() -> sim::Task<Bytes> {
-                     co_await work();
-                     co_return result;
-                   });
+  co_await traced_call(caller, callee, args,
+                       [result, work = std::move(server_work)]() -> sim::Task<Bytes> {
+                         co_await work();
+                         co_return result;
+                       },
+                       trace);
 }
 
 sim::Task<void> RmiTransport::call_dynamic(NodeId caller, NodeId callee, Bytes args,
-                                           std::function<sim::Task<Bytes>()> server_work) {
+                                           std::function<sim::Task<Bytes>()> server_work,
+                                           stats::TraceSink* trace) {
   ++calls_;
   if (caller == callee) {
     (void)co_await server_work();
     co_return;
   }
   ++remote_calls_;
-  co_await do_call(caller, callee, args, std::move(server_work));
+  co_await traced_call(caller, callee, args, std::move(server_work), trace);
 }
 
-sim::Task<void> RmiTransport::stub_exchange(NodeId caller, NodeId callee) {
+sim::Task<void> RmiTransport::stub_exchange(NodeId caller, NodeId callee,
+                                            stats::TraceSink* trace) {
   if (caller == callee) co_return;
   ++stub_exchanges_;
+  const sim::SimTime t0 = net_.simulator().now();
   co_await net_.deliver(caller, callee, cfg_.stub_request);
   co_await net_.deliver(callee, caller, cfg_.stub_response);
+  if (trace != nullptr) {
+    const sim::SimTime end = net_.simulator().now();
+    trace->add(stats::SpanKind::kStub, end - t0);
+    trace->leaf(stats::SpanKind::kStub, "stub", caller.value(), callee.value(), t0, end);
+  }
 }
 
 }  // namespace mutsvc::net

@@ -4,10 +4,14 @@
 #include <functional>
 #include <map>
 
+#include <string>
+
 #include "net/network.hpp"
 #include "net/resilience.hpp"
 #include "net/types.hpp"
 #include "sim/random.hpp"
+#include "stats/metrics.hpp"
+#include "stats/trace.hpp"
 
 namespace mutsvc::net {
 
@@ -52,22 +56,39 @@ class RmiTransport {
 
   /// One remote invocation: marshal + request, server-side work
   /// (caller-provided), reply. Local (same-node) calls are free at this
-  /// layer; the container adds local dispatch cost.
+  /// layer; the container adds local dispatch cost. With a TraceSink the
+  /// transport opens an inclusive caller -> callee span around the whole
+  /// call (retries, backoff and timeout waits included) and accounts the
+  /// exclusive wire time — elapsed minus server work — under
+  /// SpanKind::kRmiWire; spans opened by the server work become children.
   [[nodiscard]] sim::Task<void> call(NodeId caller, NodeId callee, Bytes args, Bytes result,
-                                     std::function<sim::Task<void>()> server_work);
+                                     std::function<sim::Task<void>()> server_work,
+                                     stats::TraceSink* trace = nullptr);
 
   /// Like `call`, but the reply payload size is produced by the server-side
   /// work (result sets whose size is only known after execution).
   [[nodiscard]] sim::Task<void> call_dynamic(NodeId caller, NodeId callee, Bytes args,
-                                             std::function<sim::Task<Bytes>()> server_work);
+                                             std::function<sim::Task<Bytes>()> server_work,
+                                             stats::TraceSink* trace = nullptr);
 
   /// One stub-acquisition exchange (JNDI lookup or initial remote-stub
   /// creation). Costs one round trip.
-  [[nodiscard]] sim::Task<void> stub_exchange(NodeId caller, NodeId callee);
+  [[nodiscard]] sim::Task<void> stub_exchange(NodeId caller, NodeId callee,
+                                              stats::TraceSink* trace = nullptr);
 
   /// Installs the resilience policy. Call before issuing traffic.
   void set_resilience(ResilienceConfig res) { res_ = res; }
   [[nodiscard]] const ResilienceConfig& resilience() const { return res_; }
+
+  /// Mirrors the resilience counters (retries, timeouts, failed calls,
+  /// breaker rejections and state transitions) into `m` live, at the event
+  /// that bumps them. Names are `<prefix>retries`, `<prefix>breaker.opened`,
+  /// ... Null detaches.
+  void set_metrics(stats::MetricsRegistry* m, std::string prefix = "rmi.") {
+    metrics_ = m;
+    metrics_prefix_ = std::move(prefix);
+    sync_metrics();
+  }
 
   /// True when a call to `callee` made now would be rejected by its open
   /// circuit breaker — callers can skip doomed work and degrade instead.
@@ -104,7 +125,16 @@ class RmiTransport {
   [[nodiscard]] sim::Task<void> do_call(NodeId caller, NodeId callee, Bytes args,
                                         std::function<sim::Task<Bytes>()> server_work);
 
+  /// do_call wrapped in the span + exclusive-wire accounting (no-op sink ->
+  /// plain do_call).
+  [[nodiscard]] sim::Task<void> traced_call(NodeId caller, NodeId callee, Bytes args,
+                                            std::function<sim::Task<Bytes>()> server_work,
+                                            stats::TraceSink* trace);
+
   [[nodiscard]] sim::Duration backoff_delay(int attempt_no);
+
+  /// Pushes the current resilience counters into the attached registry.
+  void sync_metrics();
 
   Network& net_;
   RmiConfig cfg_;
@@ -119,6 +149,8 @@ class RmiTransport {
   std::uint64_t timeouts_ = 0;
   std::uint64_t failed_calls_ = 0;
   std::uint64_t breaker_rejections_ = 0;
+  stats::MetricsRegistry* metrics_ = nullptr;
+  std::string metrics_prefix_ = "rmi.";
 };
 
 }  // namespace mutsvc::net

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/trace.hpp"
+
+namespace mutsvc::stats {
+
+/// Exports sampled TraceSinks as Chrome trace-event JSON ("X" complete
+/// events), loadable in Perfetto / chrome://tracing.
+///
+/// Mapping: pid = topology node id (one "process" per node, named via
+/// name_process), tid = index of the sampled trace (one lane per request),
+/// ts/dur = simulated microseconds. Timestamps come exclusively from the
+/// simulated clock — the exporter is simlint-clean and its output is
+/// bit-identical across runs and MUTSVC_JOBS values.
+class ChromeTraceWriter {
+ public:
+  /// Records every `sample_every`-th offered trace (1 = all).
+  explicit ChromeTraceWriter(std::size_t sample_every = 1)
+      : sample_every_(sample_every == 0 ? 1 : sample_every) {}
+
+  /// Maps a pid (topology node id) to a human-readable process name.
+  void name_process(std::uint32_t node, std::string name) {
+    process_names_[node] = std::move(name);
+  }
+
+  /// Offers one finished trace; returns true when it was sampled.
+  bool offer(const TraceSink& sink, std::string label) {
+    const bool take = offered_ % sample_every_ == 0;
+    ++offered_;
+    if (!take) return false;
+    recorded_.push_back(Recorded{sink.trace_id(), std::move(label), sink.spans()});
+    return true;
+  }
+
+  [[nodiscard]] std::size_t offered() const { return offered_; }
+  [[nodiscard]] std::size_t recorded() const { return recorded_.size(); }
+
+  void write(std::ostream& os) const {
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+      if (!first) os << ",";
+      first = false;
+      os << "\n";
+    };
+    for (const auto& [node, name] : process_names_) {
+      sep();
+      os << R"({"ph":"M","pid":)" << node << R"(,"tid":0,"name":"process_name","args":{"name":")"
+         << escaped(name) << "\"}}";
+    }
+    for (std::size_t lane = 0; lane < recorded_.size(); ++lane) {
+      const Recorded& r = recorded_[lane];
+      for (const Span& s : r.spans) {
+        sep();
+        os << R"({"ph":"X","name":")" << escaped(event_name(r, s)) << R"(","cat":")"
+           << to_string(s.kind) << R"(","pid":)" << s.src << R"(,"tid":)" << lane + 1
+           << R"(,"ts":)" << s.start.count_micros() << R"(,"dur":)" << s.duration().count_micros()
+           << R"(,"args":{"trace":)" << r.trace_id << R"(,"span":)" << s.id << R"(,"parent":)"
+           << s.parent << R"(,"dst":)" << s.dst << "}}";
+      }
+    }
+    os << "\n]}\n";
+  }
+
+ private:
+  struct Recorded {
+    std::uint64_t trace_id = 0;
+    std::string label;
+    std::vector<Span> spans;
+  };
+
+  [[nodiscard]] static std::string event_name(const Recorded& r, const Span& s) {
+    std::string name = s.label.empty() ? std::string{to_string(s.kind)} : s.label;
+    if (s.parent == 0 && !r.label.empty()) name = r.label + ": " + name;
+    return name;
+  }
+
+  [[nodiscard]] static std::string escaped(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';  // other control characters: not worth escaping
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::size_t sample_every_;
+  std::size_t offered_ = 0;
+  std::vector<Recorded> recorded_;
+  std::map<std::uint32_t, std::string> process_names_;
+};
+
+}  // namespace mutsvc::stats

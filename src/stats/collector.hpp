@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -45,6 +46,7 @@ class ResponseTimeCollector {
       return;
     }
     double ms = response_time.as_millis();
+    if (observer_) observer_(ms);
     by_page_[{page_key(pattern, page), group}].add(ms);
     by_pattern_[{pattern, group}].add(ms);
     if (series_window_ > sim::Duration::zero()) {
@@ -53,6 +55,11 @@ class ResponseTimeCollector {
       ts->add(completed_at, ms);
     }
   }
+
+  /// Installs a hook invoked with every post-warm-up sample (milliseconds)
+  /// as it is recorded — used to feed a MetricsRegistry latency histogram
+  /// without the collector depending on the registry.
+  void set_observer(std::function<void(double)> obs) { observer_ = std::move(obs); }
 
   /// Records one failed page request (availability / SLO accounting).
   /// Failures inside the warm-up window are discarded like samples.
@@ -141,6 +148,7 @@ class ResponseTimeCollector {
   std::size_t discarded_ = 0;
   std::uint64_t failures_ = 0;
   std::map<Key, std::uint64_t> pattern_failures_;
+  std::function<void(double)> observer_;
 };
 
 }  // namespace mutsvc::stats

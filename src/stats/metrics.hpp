@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/timeseries.hpp"
+
+namespace mutsvc::stats {
+
+/// Fixed-bucket histogram (Prometheus-style cumulative-free buckets: one
+/// count per upper bound, plus an overflow bucket). Bounds are fixed at
+/// construction, so two runs of the same workload produce bit-identical
+/// bucket counts — benchstat treats `hist_*` metrics as strictly
+/// deterministic.
+class Histogram {
+ public:
+  /// Default latency bucket bounds, in milliseconds.
+  [[nodiscard]] static std::vector<double> default_latency_bounds_ms() {
+    return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000};
+  }
+
+  explicit Histogram(std::vector<double> bounds = default_latency_bounds_ms())
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      if (bounds_[i] <= bounds_[i - 1]) {
+        throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+      }
+    }
+  }
+
+  void observe(double v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++buckets_[i];
+    ++count_;
+    sum_ += v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+  void clear() {
+    for (auto& b : buckets_) b = 0;
+    count_ = 0;
+    sum_ = 0.0;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// One node's metric store: monotonic counters, point-in-time gauges,
+/// fixed-bucket histograms, and windowed TimeSeries. Everything is keyed by
+/// name in std::map so iteration (reports, exports) is deterministic.
+///
+/// Naming convention: dotted lowercase paths, subsystem first —
+/// `rmi.retries`, `rmi.breaker.opened`, `qcache.hits`,
+/// `rocache.<entity>.stale_pushes_rejected`, `topic.updates.pending`.
+/// Histogram-derived metrics exported to bench JSON use the `hist_` prefix.
+class MetricsRegistry {
+ public:
+  // --- counters (monotonic) ------------------------------------------------
+  void inc(const std::string& name, std::uint64_t delta = 1) { counters_[name] += delta; }
+  /// Snapshot-style overwrite, for mirroring an externally maintained
+  /// counter (cache hit counts, transport totals).
+  void set_counter(const std::string& name, std::uint64_t value) { counters_[name] = value; }
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  // --- gauges --------------------------------------------------------------
+  void set_gauge(const std::string& name, double value) { gauges_[name] = value; }
+  [[nodiscard]] double gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  // --- histograms ----------------------------------------------------------
+  /// Created on first use with the default latency bounds; pass `bounds` to
+  /// control them (only honored at creation).
+  Histogram& histogram(const std::string& name) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) it = histograms_.emplace(name, Histogram{}).first;
+    return it->second;
+  }
+  Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{std::move(bounds)}).first;
+    }
+    return it->second;
+  }
+  void observe(const std::string& name, double value) { histogram(name).observe(value); }
+
+  // --- time series ---------------------------------------------------------
+  /// Created on first use with `window` (only honored at creation).
+  TimeSeries& series(const std::string& name, sim::Duration window) {
+    auto it = series_.find(name);
+    if (it == series_.end()) it = series_.emplace(name, TimeSeries{window}).first;
+    return it->second;
+  }
+  [[nodiscard]] const TimeSeries* find_series(const std::string& name) const {
+    auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+  }
+
+  // --- iteration (deterministic: std::map order) ---------------------------
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  [[nodiscard]] const std::map<std::string, TimeSeries>& all_series() const { return series_; }
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() && series_.empty();
+  }
+
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    series_.clear();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace mutsvc::stats

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mutsvc::stats {
+
+/// Where a request's time went. Categories are designed to be additive:
+/// nested work (e.g. the server-side portion of an RMI call) is recorded
+/// under its own category and excluded from the enclosing wire time, so the
+/// per-kind totals of a traced request sum exactly to its response time.
+enum class SpanKind : std::size_t {
+  kHttpWire,    // TCP handshake + request/response transfer
+  kQueueing,    // waiting for a container thread
+  kCpu,         // method CPU demand (incl. CPU queueing)
+  kLatency,     // non-CPU container residence (MethodDef::latency)
+  kCacheRead,   // read-only / query-cache access
+  kJdbc,        // database statements incl. wire and DB service time
+  kRmiWire,     // wide/local-area RMI transfer time (server work excluded)
+  kStub,        // JNDI home / remote stub acquisition
+  kLockWait,    // entity lock contention
+  kPush,        // blocking update propagation (§4.3)
+  kPublish,     // async publish incl. staleness-bound stalls (§4.5)
+  kCount_,
+};
+
+[[nodiscard]] constexpr const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kHttpWire: return "http-wire";
+    case SpanKind::kQueueing: return "thread-queue";
+    case SpanKind::kCpu: return "cpu";
+    case SpanKind::kLatency: return "container";
+    case SpanKind::kCacheRead: return "cache";
+    case SpanKind::kJdbc: return "jdbc";
+    case SpanKind::kRmiWire: return "rmi-wire";
+    case SpanKind::kStub: return "stub";
+    case SpanKind::kLockWait: return "lock-wait";
+    case SpanKind::kPush: return "push";
+    case SpanKind::kPublish: return "publish";
+    case SpanKind::kCount_: break;
+  }
+  return "?";
+}
+
+/// One node of a request's causal tree: an interval on the simulated clock,
+/// attributed to a category, linked to the span that was open when it
+/// started. Node ids are raw topology indices (stats cannot depend on net).
+struct Span {
+  std::uint32_t id = 0;      // 1-based; 0 means "no span"
+  std::uint32_t parent = 0;  // 0 = root
+  SpanKind kind = SpanKind::kCount_;
+  std::string label;
+  std::uint32_t src = 0;  // node where the interval was observed
+  std::uint32_t dst = 0;  // peer node for wire spans (== src otherwise)
+  sim::SimTime start;
+  sim::SimTime end;
+
+  [[nodiscard]] sim::Duration duration() const { return end - start; }
+};
+
+/// Collects one traced request: flat per-category totals (the additive
+/// breakdown the paper's Tables 6-7 narrative is built on) plus the
+/// hierarchical span tree behind them. Pass a pointer into
+/// Runtime::invoke / Experiment::execute_traced; a null sink disables
+/// tracing with zero overhead.
+///
+/// The two views have distinct contracts:
+///  - `add()` totals are *exclusive* and additive: `sum()` equals the traced
+///    request's measured response time exactly (`conforms()`).
+///  - spans are *inclusive* intervals (an rmi-wire span covers the nested
+///    server work; its flat total does not), organized into a tree by the
+///    begin/end stack — this is what renders as client -> edge -> main.
+class TraceSink {
+ public:
+  // --- flat additive totals ------------------------------------------------
+  void add(SpanKind kind, sim::Duration d) {
+    totals_[static_cast<std::size_t>(kind)] += d;
+  }
+
+  [[nodiscard]] sim::Duration total(SpanKind kind) const {
+    return totals_[static_cast<std::size_t>(kind)];
+  }
+
+  [[nodiscard]] sim::Duration sum() const {
+    sim::Duration s = sim::Duration::zero();
+    for (const auto& d : totals_) s += d;
+    return s;
+  }
+
+  /// The additivity invariant: the exclusive totals of a traced request sum
+  /// to exactly its measured response time (integer microseconds, no
+  /// tolerance). bench_breakdown and traceview enforce this per page.
+  [[nodiscard]] bool conforms(sim::Duration measured) const { return sum() == measured; }
+
+  // --- span tree -----------------------------------------------------------
+  /// Opens an inclusive span as a child of the currently open span and makes
+  /// it the innermost open span. Returns its id (pass back to end_span).
+  std::uint32_t begin_span(SpanKind kind, std::string label, std::uint32_t src,
+                           std::uint32_t dst, sim::SimTime start) {
+    const auto id = static_cast<std::uint32_t>(spans_.size() + 1);
+    Span s;
+    s.id = id;
+    s.parent = open_.empty() ? 0 : open_.back();
+    s.kind = kind;
+    s.label = std::move(label);
+    s.src = src;
+    s.dst = dst;
+    s.start = start;
+    s.end = start;
+    spans_.push_back(std::move(s));
+    open_.push_back(id);
+    return id;
+  }
+
+  /// Closes span `id` at `end`. Any still-open descendants (abandoned by an
+  /// exception unwinding through their frames) are closed at the same time.
+  void end_span(std::uint32_t id, sim::SimTime end) {
+    while (!open_.empty()) {
+      const std::uint32_t top = open_.back();
+      open_.pop_back();
+      spans_[top - 1].end = end;
+      if (top == id) return;
+    }
+  }
+
+  /// Records a complete child span of the currently open span, without
+  /// touching the open stack. Tree-only: callers account the flat total
+  /// separately (or not at all, for purely decorative children such as the
+  /// per-edge pushes under the push umbrella).
+  void leaf(SpanKind kind, std::string label, std::uint32_t src, std::uint32_t dst,
+            sim::SimTime start, sim::SimTime end) {
+    const auto id = static_cast<std::uint32_t>(spans_.size() + 1);
+    Span s;
+    s.id = id;
+    s.parent = open_.empty() ? 0 : open_.back();
+    s.kind = kind;
+    s.label = std::move(label);
+    s.src = src;
+    s.dst = dst;
+    s.start = start;
+    s.end = end;
+    spans_.push_back(std::move(s));
+  }
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t open_span_count() const { return open_.size(); }
+
+  /// Children of span `id` (0 = roots), in recording order.
+  [[nodiscard]] std::vector<const Span*> children(std::uint32_t id) const {
+    std::vector<const Span*> out;
+    for (const Span& s : spans_) {
+      if (s.parent == id) out.push_back(&s);
+    }
+    return out;
+  }
+
+  // --- identity ------------------------------------------------------------
+  /// Deterministically assigned per traced request (a counter, never a
+  /// random or wall-clock-derived value).
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+
+  void clear() {
+    totals_.fill(sim::Duration::zero());
+    spans_.clear();
+    open_.clear();
+    trace_id_ = 0;
+  }
+
+ private:
+  std::array<sim::Duration, static_cast<std::size_t>(SpanKind::kCount_)> totals_{};
+  std::vector<Span> spans_;
+  std::vector<std::uint32_t> open_;
+  std::uint64_t trace_id_ = 0;
+};
+
+}  // namespace mutsvc::stats

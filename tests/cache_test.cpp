@@ -87,6 +87,54 @@ TEST(ReadOnlyCacheTest, PushRefreshesTheTtlClock) {
   EXPECT_DOUBLE_EQ(db::as_real(entry->row[1]), 2.0);
 }
 
+TEST(ReadOnlyCacheTest, ReorderedPushKeepsNewerEntry) {
+  // Regression: two pushes delivered out of order (v2's wide-area hop
+  // overtaken by v1's retry, or per-edge sequencing across batches). The
+  // replica must keep the newer entry and reject the older push, exactly as
+  // fill() already does for stale pull-refreshes.
+  ReadOnlyCache c{"Item"};
+  c.apply_push(1, row(1, 2.0), 2);
+  c.apply_push(1, row(1, 1.0), 1);  // late, older: must not regress
+  auto entry = c.get(1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->version, 2u);
+  EXPECT_DOUBLE_EQ(db::as_real(entry->row[1]), 2.0);
+  EXPECT_EQ(c.pushes_applied(), 1u);
+  EXPECT_EQ(c.stale_pushes_rejected(), 1u);
+}
+
+TEST(ReadOnlyCacheTest, EqualVersionPushReapplies) {
+  // At-least-once redelivery of the same batch is idempotent in content;
+  // re-applying an equal version is allowed (not counted as stale).
+  ReadOnlyCache c{"Item"};
+  c.apply_push(1, row(1, 2.0), 2);
+  c.apply_push(1, row(1, 2.0), 2);
+  EXPECT_EQ(c.pushes_applied(), 2u);
+  EXPECT_EQ(c.stale_pushes_rejected(), 0u);
+}
+
+TEST(ReadOnlyCacheTest, ResetStatsClearsCountersKeepsEntries) {
+  using sim::SimTime;
+  ReadOnlyCache c{"Item"};
+  c.fill(1, row(1, 1.0), 2, SimTime::origin());
+  (void)c.get(1);
+  (void)c.get(9);
+  c.apply_push(1, row(1, 2.0), 3);
+  c.apply_push(1, row(1, 1.5), 1);
+  c.fill(1, row(1, 0.5), 1);  // stale fill, rejected
+  c.invalidate(1);
+  (void)c.get_if_fresh(2, SimTime::origin(), sim::sec(1));
+  c.reset_stats();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_EQ(c.pushes_applied(), 0u);
+  EXPECT_EQ(c.invalidations(), 0u);
+  EXPECT_EQ(c.stale_fills_rejected(), 0u);
+  EXPECT_EQ(c.stale_pushes_rejected(), 0u);
+  EXPECT_EQ(c.timeout_invalidations(), 0u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.0);
+}
+
 // --- ConsistencyTracker: coordinated version allocation -------------------------
 
 TEST(ConsistencyTrackerTest, AllocateIsMonotoneAcrossConcurrentTransactions) {
@@ -196,6 +244,39 @@ TEST(QueryCacheTest, PushRefreshReplacesRows) {
   ASSERT_TRUE(entry.has_value());
   EXPECT_EQ(entry->rows.size(), 2u);
   EXPECT_EQ(qc.pushes_applied(), 1u);
+}
+
+TEST(QueryCacheTest, ReorderedPushKeepsNewerRows) {
+  // Regression: under async updates two batches can reach an edge out of
+  // order (per-subscriber redelivery after a partition). The cache must
+  // keep the v2 result set when v1's push lands late.
+  QueryCache qc;
+  qc.apply_push("k", {row(1, 1.0), row(2, 2.0)}, 2);
+  qc.apply_push("k", {row(1, 1.0)}, 1);  // late, older: must not regress
+  auto entry = qc.get("k");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->version, 2u);
+  EXPECT_EQ(entry->rows.size(), 2u);
+  EXPECT_EQ(qc.pushes_applied(), 1u);
+  EXPECT_EQ(qc.stale_pushes_rejected(), 1u);
+}
+
+TEST(QueryCacheTest, ResetStatsClearsCountersKeepsEntries) {
+  QueryCache qc;
+  qc.fill("k", {row(1, 1.0)}, 1);
+  (void)qc.get("k");
+  (void)qc.get("ghost");
+  qc.apply_push("k", {row(1, 2.0)}, 3);
+  qc.apply_push("k", {row(1, 1.0)}, 2);
+  qc.invalidate("k");
+  qc.apply_push("k", {row(1, 2.0)}, 3);  // re-install after invalidation
+  qc.reset_stats();
+  EXPECT_EQ(qc.hits(), 0u);
+  EXPECT_EQ(qc.misses(), 0u);
+  EXPECT_EQ(qc.pushes_applied(), 0u);
+  EXPECT_EQ(qc.invalidations(), 0u);
+  EXPECT_EQ(qc.stale_pushes_rejected(), 0u);
+  EXPECT_TRUE(qc.contains("k"));  // entries survive a stats reset
 }
 
 TEST(QueryCacheTest, ClearDropsEverything) {

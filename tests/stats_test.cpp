@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "stats/collector.hpp"
 #include "stats/summary.hpp"
@@ -144,6 +145,55 @@ TEST(TimeSeriesTest, RejectsBadInput) {
   EXPECT_THROW(TimeSeries{sim::Duration::zero()}, std::invalid_argument);
   TimeSeries ts{sim::sec(1)};
   EXPECT_THROW(ts.add(SimTime::origin() - sim::sec(1), 1.0), std::invalid_argument);
+}
+
+TEST(SummaryTest, PercentileNearestRankEdges) {
+  // Nearest-rank: rank = ceil(p/100 * n), clamped to [1, n]. A single
+  // sample answers every percentile, including the p=0 and p=100 edges.
+  Summary one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 42.0);
+  EXPECT_THROW((void)one.percentile(-1), std::invalid_argument);
+  EXPECT_THROW((void)one.percentile(100.0001), std::invalid_argument);
+
+  Summary two;
+  two.add(1.0);
+  two.add(2.0);
+  EXPECT_DOUBLE_EQ(two.percentile(0), 1.0);    // rank 0 clamps to the minimum
+  EXPECT_DOUBLE_EQ(two.percentile(50), 1.0);   // ceil(0.5*2)=1
+  EXPECT_DOUBLE_EQ(two.percentile(51), 2.0);   // ceil(1.02)=2
+  EXPECT_DOUBLE_EQ(two.percentile(100), 2.0);
+}
+
+TEST(TimeSeriesTest, WindowEdgeSamplesBucketRight) {
+  // A sample exactly on a window boundary belongs to the window it opens
+  // (index = micros / width), and a zero-time sample lands in window 0.
+  TimeSeries ts{sim::sec(10)};
+  ts.add(SimTime::origin(), 1.0);                         // t=0 -> window 0
+  ts.add(SimTime::origin() + sim::sec(10), 2.0);          // exact edge -> window 1
+  ts.add(SimTime::origin() + sim::sec(10) - sim::us(1), 3.0);  // just inside -> window 0
+  ASSERT_EQ(ts.window_count(), 2u);
+  EXPECT_EQ(ts.window(0).count(), 2u);
+  EXPECT_DOUBLE_EQ(ts.window(0).mean(), 2.0);
+  EXPECT_EQ(ts.window(1).count(), 1u);
+  EXPECT_DOUBLE_EQ(ts.window(1).mean(), 2.0);
+  EXPECT_EQ(ts.window_start(1), SimTime::origin() + sim::sec(10));
+}
+
+TEST(TimeSeriesTest, NegativeWindowThrows) {
+  EXPECT_THROW(TimeSeries{sim::sec(-1)}, std::invalid_argument);
+}
+
+TEST(CollectorTest, ObserverSeesPostWarmupSamplesOnly) {
+  ResponseTimeCollector c{sim::sec(60)};
+  std::vector<double> seen;
+  c.set_observer([&seen](double v) { seen.push_back(v); });
+  c.record(SimTime::origin() + sim::sec(30), "P", "Browser", ClientGroup::kLocal, ms(50));
+  c.record(SimTime::origin() + sim::sec(90), "P", "Browser", ClientGroup::kLocal, ms(70));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_DOUBLE_EQ(seen[0], 70.0);
 }
 
 TEST(CollectorTest, TimeSeriesDisabledByDefaultEnabledOnDemand) {

@@ -9,7 +9,9 @@
 // (default 25%, matching the CI perf-smoke gate). Deterministic metrics
 // (no `wall_` prefix) are additionally required to match exactly — a
 // changed `events` count means the simulation trajectory changed, which is
-// a correctness bug, not a perf delta.
+// a correctness bug, not a perf delta. Histogram-derived metrics (`hist_`
+// prefix or `_bucket` suffix convention from perfjson.hpp) are simulated
+// counts: strictly deterministic, never throughput-gated.
 //
 // The parser handles exactly the subset of JSON that perfjson.hpp emits
 // (string keys, numeric values, fixed nesting); it is not a general JSON
@@ -88,6 +90,15 @@ bool is_wall(const std::string& metric_part) {
   return metric_part.rfind("wall_", 0) == 0;
 }
 
+// Fixed-bucket histogram exports (stats::Histogram via perfjson
+// add_histogram): bucket counts on the simulated clock. They are held to
+// the bit-identical determinism bar and are exempt from the throughput
+// gate even if a name ever matches `*_per_sec`.
+bool is_histogram(const std::string& metric_part) {
+  return metric_part.rfind("hist_", 0) == 0 ||
+         metric_part.find("_bucket") != std::string::npos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,7 +136,8 @@ int main(int argc, char** argv) {
     std::printf("%-52s %14.6g %14.6g %+8.1f%%\n", name.c_str(), oldv, newv, delta * 100.0);
 
     const std::string metric_part = name.substr(name.find('/') + 1);
-    if (is_throughput(name) && oldv > 0.0 && newv < oldv * (1.0 - max_regression)) {
+    if (is_throughput(name) && !is_histogram(metric_part) && oldv > 0.0 &&
+        newv < oldv * (1.0 - max_regression)) {
       std::fprintf(stderr, "benchstat: REGRESSION %s: %.6g -> %.6g (limit -%.0f%%)\n",
                    name.c_str(), oldv, newv, max_regression * 100.0);
       regressed = true;

@@ -12,6 +12,8 @@
 //   --seed <n>              RNG seed               (default 42)
 //   --sessions              print session averages instead of the page table
 //   --utilization           also print per-server CPU utilization
+//   --metrics               also print per-node metrics (counters, cache and
+//                           topic gauges, latency histogram, time series)
 //
 // Examples:
 //   mutsvc_run rubis --level 3
@@ -39,7 +41,7 @@ namespace {
   if (error != nullptr) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: mutsvc_run <petstore|rubis|gridviz> [--level 1..5] "
                "[--descriptor file] [--emit-descriptor] [--duration s] [--warmup s] "
-               "[--rate r] [--seed n] [--sessions] [--utilization]\n";
+               "[--rate r] [--seed n] [--sessions] [--utilization] [--metrics]\n";
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -67,6 +69,7 @@ struct Options {
   std::uint64_t seed = 42;
   bool sessions = false;
   bool utilization = false;
+  bool metrics = false;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -98,6 +101,8 @@ Options parse_args(int argc, char** argv) {
       opt.sessions = true;
     } else if (arg == "--utilization") {
       opt.utilization = true;
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
     } else if (arg == "-h" || arg == "--help") {
       usage();
     } else {
@@ -145,6 +150,7 @@ int run_with(const apps::AppDriver& driver, const core::HarnessCalibration& cal,
   }
 
   core::Experiment exp{driver, spec, cal};
+  if (opt.metrics) exp.enable_metrics(sim::sec(60));
   if (!opt.descriptor_file.empty()) {
     std::cout << "deployment: " << opt.descriptor_file << " (descriptor-driven)\n";
   }
@@ -172,6 +178,11 @@ int run_with(const apps::AppDriver& driver, const core::HarnessCalibration& cal,
       std::cout << ", db " << static_cast<int>(exp.cpu_utilization(n.db_node) * 100) << "%";
     }
     std::cout << "\n";
+  }
+  if (opt.metrics) {
+    std::cout << "\n";
+    core::print_all_metrics(std::cout, exp.runtime().metrics_by_node(),
+                            exp.network().topology());
   }
   return 0;
 }

@@ -12,7 +12,9 @@
 // (wall-clock durations, throughput per wall second, RSS, worker count) and
 // are exempt from the bit-identical determinism contract; every other
 // metric must be identical across runs and MUTSVC_JOBS values. Tools and
-// tests that diff bench JSON ignore `wall_*` lines only.
+// tests that diff bench JSON ignore `wall_*` lines only. Metrics prefixed
+// `hist_` (emitted by add_histogram) are fixed-bucket counts on the
+// simulated clock: strictly deterministic and never throughput-gated.
 
 #include <sys/resource.h>
 
@@ -25,6 +27,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "stats/metrics.hpp"
 
 namespace mutsvc::perf {
 
@@ -73,6 +77,23 @@ struct Benchmark {
   os.precision(17);
   os << v;
   return os.str();
+}
+
+/// Exports a fixed-bucket histogram as deterministic bench metrics:
+/// `hist_<name>_le_<bound>` per bucket, `hist_<name>_le_inf` for the
+/// overflow bucket, plus `hist_<name>_count` and `hist_<name>_sum`. The
+/// counts come off the simulated clock, so benchstat holds them to the
+/// bit-identical bar (and never throughput-gates them).
+inline Benchmark& add_histogram(Benchmark& b, const std::string& name,
+                                const stats::Histogram& h) {
+  for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+    b.add("hist_" + name + "_le_" + format_number(h.bounds()[i]),
+          static_cast<double>(h.bucket(i)));
+  }
+  b.add("hist_" + name + "_le_inf", static_cast<double>(h.bucket(h.bounds().size())));
+  b.add("hist_" + name + "_count", static_cast<double>(h.count()));
+  b.add("hist_" + name + "_sum", h.sum());
+  return b;
 }
 
 [[nodiscard]] inline std::string to_json(const std::string& bench,

@@ -1,0 +1,182 @@
+// traceview: renders one traced Pet Store page request as a causal span
+// tree (client -> edge -> main), plus the flat additive category breakdown
+// and the conformance verdict. Optionally dumps the trace as Chrome
+// trace-event JSON for Perfetto / chrome://tracing.
+//
+// Usage:
+//   traceview [--level N|name] [--page item|category|commitorder]
+//             [--cold] [--chrome out.json]
+//
+// Exits non-zero when the trace does not conform (sum of flat totals !=
+// measured response time) — the same invariant bench_breakdown enforces
+// across all five configurations.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/petstore/petstore.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "stats/chrome_trace.hpp"
+#include "stats/table.hpp"
+
+using namespace mutsvc;
+
+namespace {
+
+struct Options {
+  core::ConfigLevel level = core::ConfigLevel::kStatefulComponentCaching;
+  std::string page = "commitorder";
+  bool warm = true;
+  std::string chrome_path;
+};
+
+core::ConfigLevel parse_level(const std::string& v) {
+  if (v == "1" || v == "centralized") return core::ConfigLevel::kCentralized;
+  if (v == "2" || v == "facade") return core::ConfigLevel::kRemoteFacade;
+  if (v == "3" || v == "caching") return core::ConfigLevel::kStatefulComponentCaching;
+  if (v == "4" || v == "querycache") return core::ConfigLevel::kQueryCaching;
+  if (v == "5" || v == "async") return core::ConfigLevel::kAsyncUpdates;
+  throw std::invalid_argument("traceview: unknown --level " + v +
+                              " (want 1-5 or centralized|facade|caching|querycache|async)");
+}
+
+workload::PageRequest request_for(const std::string& page) {
+  workload::PageRequest req;
+  req.component = "PetStoreWeb";
+  if (page == "item") {
+    req.page = "Item";
+    req.pattern = "Browser";
+    req.method = "item";
+    req.args = {db::Value{std::int64_t{1001001}}};
+  } else if (page == "category") {
+    req.page = "Category";
+    req.pattern = "Browser";
+    req.method = "category";
+    req.args = {db::Value{std::int64_t{1}}};
+  } else if (page == "commitorder") {
+    req.page = "Commit Order";
+    req.pattern = "Buyer";
+    req.method = "commitorder";
+    req.args = {db::Value{std::int64_t{1}}, db::Value{std::int64_t{1001001}}};
+  } else {
+    throw std::invalid_argument("traceview: unknown --page " + page +
+                                " (want item|category|commitorder)");
+  }
+  return req;
+}
+
+void print_tree(const comp::TraceSink& sink, const net::Topology& topo,
+                const stats::Span& span, int depth) {
+  std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "- ["
+            << to_string(span.kind) << "] " << (span.label.empty() ? "?" : span.label);
+  if (span.src != span.dst) {
+    std::cout << "  " << topo.node(net::NodeId{span.src}).name << " -> "
+              << topo.node(net::NodeId{span.dst}).name;
+  } else {
+    std::cout << "  @" << topo.node(net::NodeId{span.src}).name;
+  }
+  std::cout << "  t=" << stats::TextTable::cell_fixed(
+                   (span.start - sim::SimTime::origin()).as_millis(), 3)
+            << "ms dur=" << stats::TextTable::cell_fixed(span.duration().as_millis(), 3)
+            << "ms\n";
+  for (const stats::Span* child : sink.children(span.id)) {
+    print_tree(sink, topo, *child, depth + 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument("traceview: " + arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--level") {
+      opt.level = parse_level(value());
+    } else if (arg == "--page") {
+      opt.page = value();
+    } else if (arg == "--cold") {
+      opt.warm = false;
+    } else if (arg == "--chrome") {
+      opt.chrome_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: traceview [--level 1-5] [--page item|category|commitorder]"
+                   " [--cold] [--chrome out.json]\n";
+      return 0;
+    } else {
+      std::cerr << "traceview: unknown argument " << arg << " (try --help)\n";
+      return 2;
+    }
+  }
+
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.level = opt.level;
+  spec.duration = sim::sec(1);
+  spec.warmup = sim::Duration::zero();
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+
+  const net::NodeId client = exp.nodes().remote_clients[0];
+  const workload::PageRequest req = request_for(opt.page);
+
+  if (opt.warm) {
+    exp.simulator().spawn([](core::Experiment& e, net::NodeId c,
+                             const workload::PageRequest& r) -> sim::Task<void> {
+      comp::TraceSink warm;
+      co_await e.execute_traced(c, r, warm);
+    }(exp, client, req));
+    exp.simulator().run_until();
+    exp.runtime().reset_cache_stats();
+  }
+
+  comp::TraceSink sink;
+  sim::Duration elapsed = sim::Duration::zero();
+  exp.simulator().spawn([](core::Experiment& e, net::NodeId c, const workload::PageRequest& r,
+                           comp::TraceSink& s, sim::Duration& out) -> sim::Task<void> {
+    const sim::SimTime t0 = e.simulator().now();
+    co_await e.execute_traced(c, r, s);
+    out = e.simulator().now() - t0;
+  }(exp, client, req, sink, elapsed));
+  exp.simulator().run_until();
+
+  net::Topology& topo = exp.network().topology();
+  std::cout << "=== " << core::to_string(opt.level) << " / " << req.page << " ("
+            << (opt.warm ? "warm" : "cold") << " caches, remote client) ===\n\n";
+  std::cout << "Span tree (inclusive intervals):\n";
+  for (const stats::Span* root : sink.children(0)) print_tree(sink, topo, *root, 1);
+
+  std::cout << "\nFlat breakdown (exclusive, additive):\n";
+  stats::TextTable table{{"category", "ms"}};
+  for (std::size_t k = 0; k < static_cast<std::size_t>(comp::SpanKind::kCount_); ++k) {
+    const auto kind = static_cast<comp::SpanKind>(k);
+    if (sink.total(kind) == sim::Duration::zero()) continue;
+    table.add_row({to_string(kind), stats::TextTable::cell_fixed(sink.total(kind).as_millis(), 3)});
+  }
+  table.add_row({"TOTAL", stats::TextTable::cell_fixed(sink.sum().as_millis(), 3)});
+  table.print(std::cout);
+  std::cout << "measured: " << stats::TextTable::cell_fixed(elapsed.as_millis(), 3) << " ms\n";
+
+  if (!opt.chrome_path.empty()) {
+    stats::ChromeTraceWriter chrome;
+    for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
+      chrome.name_process(i, topo.node(net::NodeId{i}).name);
+    }
+    (void)chrome.offer(sink, std::string{core::to_string(opt.level)} + "/" + req.page);
+    std::ofstream out{opt.chrome_path};
+    chrome.write(out);
+    std::cout << "chrome trace written to " << opt.chrome_path << "\n";
+  }
+
+  if (!sink.conforms(elapsed)) {
+    std::cout << "\nCONFORMANCE FAIL: sum(spans) != measured response time\n";
+    return 1;
+  }
+  std::cout << "\nconformance: sum(spans) == measured response time\n";
+  return 0;
+}
