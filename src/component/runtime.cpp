@@ -102,12 +102,29 @@ Runtime::Runtime(sim::Simulator& sim, net::Topology& topo, net::Network& net,
   // application transport (its breakers are independent per transport).
   update_rmi_->set_resilience(rmi.resilience());
   if (plan_.has(Feature::kAsyncUpdates)) {
-    topic_ = std::make_unique<msg::Topic<cache::UpdateBatch>>(
-        net_, plan_.main_server(), "updates", cfg_.mdb_dispatch);
-    for (net::NodeId edge : update_targets()) {
-      topic_->subscribe(edge, [this, edge](const cache::UpdateBatch& batch) {
-        return apply_batch(edge, batch);
-      });
+    // One topic per data-tier shard: lane 0 keeps the name "updates" (with
+    // one shard this is exactly the paper's single topic), lane s > 0 is
+    // "updates-s<s>". Providers live with the main server (§4.5); every
+    // update target subscribes to every lane.
+    for (std::size_t s = 0; s < db_.shard_count(); ++s) {
+      std::string name = s == 0 ? std::string("updates") : "updates-s" + std::to_string(s);
+      topics_.push_back(std::make_unique<msg::Topic<cache::UpdateBatch>>(
+          net_, plan_.main_server(), std::move(name), cfg_.mdb_dispatch));
+      for (net::NodeId edge : update_targets()) {
+        topics_[s]->subscribe(edge, [this, edge](const cache::UpdateBatch& batch) {
+          return apply_batch(edge, batch);
+        });
+      }
+    }
+    if (cfg_.coalesce_quantum > sim::Duration::zero()) {
+      coalescer_ = std::make_unique<msg::Coalescer<cache::UpdateBatch>>(
+          sim_, topics_.size(), cfg_.coalesce_quantum,
+          [](cache::UpdateBatch& into, cache::UpdateBatch&& from) {
+            cache::merge_into(into, std::move(from));
+          },
+          [this](std::size_t lane, cache::UpdateBatch merged) {
+            return publish_lane(lane, std::move(merged));
+          });
     }
   }
 }
@@ -175,12 +192,19 @@ void Runtime::sample_metrics(sim::SimTime now, sim::Duration window) {
     m.series("qcache.size", window).add(now, static_cast<double>(qc->size()));
   }
   stats::MetricsRegistry& m = metrics(plan_.main_server());
-  if (topic_ != nullptr) {
-    m.set_counter("topic.updates.published", topic_->published());
-    m.set_counter("topic.updates.delivered", topic_->delivered());
-    m.set_counter("topic.updates.delivery_retries", topic_->delivery_retries());
-    m.set_gauge("topic.updates.queue_depth", static_cast<double>(topic_->queue_depth()));
-    m.series("topic.updates.pending", window).add(now, static_cast<double>(topic_->pending()));
+  for (const auto& t : topics_) {
+    const std::string p = "topic." + t->name() + ".";
+    m.set_counter(p + "published", t->published());
+    m.set_counter(p + "delivered", t->delivered());
+    m.set_counter(p + "delivery_retries", t->delivery_retries());
+    m.set_gauge(p + "queue_depth", static_cast<double>(t->queue_depth()));
+    m.series(p + "pending", window).add(now, static_cast<double>(t->pending()));
+  }
+  if (coalescer_ != nullptr) {
+    m.set_counter("coalescer.enqueued", coalescer_->enqueued());
+    m.set_counter("coalescer.merges", coalescer_->merges());
+    m.set_counter("coalescer.flushes", coalescer_->flushes());
+    m.set_counter("coalescer.flush_failures", coalescer_->flush_failures());
   }
   for (const auto& [edge, q] : write_queues_) {
     m.series("writequeue." + topo_.node(edge).name + ".pending", window)
@@ -787,9 +811,26 @@ sim::Task<void> Runtime::push_blocking(cache::UpdateBatch batch, TraceSink* trac
   }
 }
 
+std::vector<cache::UpdateBatch> Runtime::split_by_shard(cache::UpdateBatch batch) const {
+  std::vector<cache::UpdateBatch> lanes(topics_.size());
+  for (cache::EntityUpdate& e : batch.entities) {
+    lanes[db_.router().shard_of(e.pk)].entities.push_back(std::move(e));
+  }
+  // Query results span shards; their refreshes ride the coordinator lane.
+  for (cache::QueryRefresh& q : batch.queries) {
+    lanes[0].queries.push_back(std::move(q));
+  }
+  return lanes;
+}
+
+sim::Task<void> Runtime::publish_lane(std::size_t lane, cache::UpdateBatch batch) {
+  const net::Bytes bytes = batch.wire_bytes(cfg_.delta_encoding);
+  co_await topics_.at(lane)->publish(plan_.main_server(), std::move(batch), bytes, nullptr);
+}
+
 sim::Task<void> Runtime::publish_async(cache::UpdateBatch batch, TraceSink* trace) {
   const sim::SimTime p0 = sim_.now();
-  if (topic_ == nullptr) throw std::logic_error("Runtime: async updates without a topic");
+  if (topics_.empty()) throw std::logic_error("Runtime: async updates without a topic");
   const std::uint32_t span =
       trace != nullptr
           ? trace->begin_span(SpanKind::kPublish, "publish", plan_.main_server().value(),
@@ -797,19 +838,46 @@ sim::Task<void> Runtime::publish_async(cache::UpdateBatch batch, TraceSink* trac
           : 0;
   ++async_publishes_;
   // TACT-style order-error bound: block the writer while the slowest
-  // replica lags more than the configured number of batches.
+  // replica lags more than the configured number of batches (summed across
+  // the shard topics — with one shard this is exactly the single-topic
+  // bound).
   const std::uint32_t bound = plan_.staleness_bound();
-  if (bound > 0 && topic_->subscriber_count() > 0) {
-    const auto subs = static_cast<std::uint64_t>(topic_->subscriber_count());
-    while (topic_->published() * subs - topic_->delivered() >= bound * subs) {
+  if (bound > 0 && topics_[0]->subscriber_count() > 0) {
+    const auto subs = static_cast<std::uint64_t>(topics_[0]->subscriber_count());
+    auto outstanding = [&] {
+      std::uint64_t published = 0;
+      std::uint64_t delivered = 0;
+      for (const auto& t : topics_) {
+        published += t->published();
+        delivered += t->delivered();
+      }
+      return published * subs - delivered;
+    };
+    while (outstanding() >= bound * subs) {
       ++bounded_waits_;
       co_await sim_.wait(sim::ms(5));
     }
   }
   // The writer only waits for the local provider to accept the message.
   co_await sim_.wait(cfg_.jms_accept);
-  const net::Bytes bytes = batch.wire_bytes(cfg_.delta_encoding);
-  co_await topic_->publish(plan_.main_server(), std::move(batch), bytes, trace);
+  if (topics_.size() == 1 && coalescer_ == nullptr) {
+    // Unsharded, uncoalesced: the paper's §4.5 path, event for event.
+    const net::Bytes bytes = batch.wire_bytes(cfg_.delta_encoding);
+    co_await topics_[0]->publish(plan_.main_server(), std::move(batch), bytes, trace);
+  } else {
+    std::vector<cache::UpdateBatch> lanes = split_by_shard(std::move(batch));
+    for (std::size_t s = 0; s < lanes.size(); ++s) {
+      if (lanes[s].empty()) continue;
+      if (coalescer_ != nullptr) {
+        // Buffered for the lane's next quantum flush; the writer is done
+        // once the provider has the dirty state.
+        coalescer_->enqueue(s, std::move(lanes[s]));
+      } else {
+        const net::Bytes bytes = lanes[s].wire_bytes(cfg_.delta_encoding);
+        co_await topics_[s]->publish(plan_.main_server(), std::move(lanes[s]), bytes, trace);
+      }
+    }
+  }
   if (trace) {
     const sim::SimTime p1 = sim_.now();
     trace->add(SpanKind::kPublish, p1 - p0);

@@ -19,6 +19,7 @@
 #include "component/trace.hpp"
 #include "db/database.hpp"
 #include "db/jdbc.hpp"
+#include "messaging/coalescer.hpp"
 #include "messaging/topic.hpp"
 #include "net/http.hpp"
 #include "net/network.hpp"
@@ -38,6 +39,12 @@ struct RuntimeConfig {
   sim::Duration jms_accept = sim::ms(2);       // provider accept (publish side)
   db::JdbcConfig jdbc;
   bool delta_encoding = false;  // push only modified fields (§4.3)
+  /// Batched update coalescing for async propagation: zero (the default,
+  /// the paper's behaviour) publishes one batch per transaction; positive
+  /// buffers dirty state per shard topic and flushes one merged batch per
+  /// quantum, so push cost scales with shards × edges instead of
+  /// transactions × edges.
+  sim::Duration coalesce_quantum = sim::Duration::zero();
   /// §4.3 vendor-style timeout invalidation for read-only beans; zero (the
   /// default, the paper's configuration) disables expiry — freshness is
   /// the push protocol's job.
@@ -261,7 +268,18 @@ class Runtime {
   [[nodiscard]] std::uint64_t failed_pushes() const { return failed_pushes_; }
   [[nodiscard]] std::uint64_t async_publishes() const { return async_publishes_; }
   [[nodiscard]] std::uint64_t bounded_waits() const { return bounded_waits_; }
-  [[nodiscard]] msg::Topic<cache::UpdateBatch>* update_topic() { return topic_.get(); }
+  /// Shard 0's update topic (the only one with an unsharded data tier).
+  [[nodiscard]] msg::Topic<cache::UpdateBatch>* update_topic() {
+    return topics_.empty() ? nullptr : topics_.front().get();
+  }
+  /// Shard `s`'s update topic; one per data-tier shard under async updates.
+  [[nodiscard]] msg::Topic<cache::UpdateBatch>* update_topic(std::size_t s) {
+    return s < topics_.size() ? topics_[s].get() : nullptr;
+  }
+  [[nodiscard]] std::size_t update_topic_count() const { return topics_.size(); }
+  /// The batched-update coalescer; null unless async updates run with a
+  /// positive coalesce_quantum.
+  [[nodiscard]] msg::Coalescer<cache::UpdateBatch>* coalescer() { return coalescer_.get(); }
 
   // --- graceful degradation accounting ------------------------------------
   [[nodiscard]] std::uint64_t degraded_reads() const { return degraded_reads_; }
@@ -270,9 +288,15 @@ class Runtime {
   [[nodiscard]] std::uint64_t queued_writes_dropped() const { return queued_writes_dropped_; }
   [[nodiscard]] std::uint64_t cache_rewarms() const { return cache_rewarms_; }
 
-  /// True when all asynchronously published updates have been applied.
+  /// True when all asynchronously published updates have been applied —
+  /// nothing buffered in the coalescer, nothing in flight on any shard
+  /// topic.
   [[nodiscard]] bool updates_quiescent() const {
-    return topic_ == nullptr || topic_->quiescent();
+    if (coalescer_ != nullptr && !coalescer_->idle()) return false;
+    for (const auto& t : topics_) {
+      if (!t->quiescent()) return false;
+    }
+    return true;
   }
 
   /// True when every queued degraded-mode write has been applied (or
@@ -368,6 +392,15 @@ class Runtime {
   [[nodiscard]] sim::Task<void> publish_async(cache::UpdateBatch batch, TraceSink* trace);
   [[nodiscard]] sim::Task<void> apply_batch(net::NodeId node, const cache::UpdateBatch& batch);
 
+  /// Splits a transaction's batch into per-shard-topic lanes: entity
+  /// updates route by their primary key's owner shard, query refreshes
+  /// (whose results span shards) ride the coordinator lane 0.
+  [[nodiscard]] std::vector<cache::UpdateBatch> split_by_shard(cache::UpdateBatch batch) const;
+
+  /// Publishes one (possibly coalesced) batch on shard lane `lane`.
+  /// NOTE: coroutine — `batch` by value.
+  [[nodiscard]] sim::Task<void> publish_lane(std::size_t lane, cache::UpdateBatch batch);
+
   /// Edge nodes that must receive updates (RO replicas or query caches).
   [[nodiscard]] std::vector<net::NodeId> update_targets() const;
 
@@ -405,7 +438,10 @@ class Runtime {
   std::map<std::pair<net::NodeId, std::string>, std::unique_ptr<cache::ReadOnlyCache>> ro_caches_;
   std::map<net::NodeId, std::unique_ptr<cache::QueryCache>> query_caches_;
   std::map<net::NodeId, std::unique_ptr<db::JdbcClient>> jdbc_clients_;
-  std::unique_ptr<msg::Topic<cache::UpdateBatch>> topic_;
+  /// One update topic per data-tier shard (lane s carries shard s's dirty
+  /// rows); empty unless the plan runs async updates.
+  std::vector<std::unique_ptr<msg::Topic<cache::UpdateBatch>>> topics_;
+  std::unique_ptr<msg::Coalescer<cache::UpdateBatch>> coalescer_;
   std::map<net::NodeId, std::unique_ptr<msg::Topic<QueuedWrite>>> write_queues_;
   InteractionProfile profile_;
   std::map<net::NodeId, stats::MetricsRegistry> metrics_;

@@ -3,10 +3,19 @@
 namespace mutsvc::core {
 
 namespace {
-TestbedConfig testbed_for(const apps::AppDriver& driver, HarnessCalibration cal) {
+TestbedConfig testbed_for(const apps::AppDriver& driver, HarnessCalibration cal,
+                          const ExperimentSpec& spec) {
   TestbedConfig t = cal.testbed;
   t.db_colocated = driver.db_colocated;
+  t.db_shards = spec.shard.shards;
   return t;
+}
+
+comp::RuntimeConfig runtime_config_for(const HarnessCalibration& cal,
+                                       const ExperimentSpec& spec) {
+  comp::RuntimeConfig cfg = cal.runtime;
+  cfg.coalesce_quantum = spec.shard.coalesce_quantum;
+  return cfg;
 }
 }  // namespace
 
@@ -17,12 +26,12 @@ Experiment::Experiment(const apps::AppDriver& driver, ExperimentSpec spec,
       cal_(cal),
       sim_(spec.seed),
       topo_(sim_),
-      nodes_(build_testbed(topo_, testbed_for(driver, cal))),
+      nodes_(build_testbed(topo_, testbed_for(driver, cal, spec))),
       net_(sim_, topo_),
       http_(net_, cal.http),
       rmi_(net_, cal.rmi),
       collector_(spec.warmup) {
-  db_ = std::make_unique<db::Database>(topo_, nodes_.db_node, cal_.db_cost);
+  db_ = std::make_unique<db::Database>(topo_, nodes_.db_nodes, cal_.db_cost);
   driver_.install_database(*db_);
   // Install the policy before the runtime copies the transport config for
   // its dedicated update transport.
@@ -31,7 +40,7 @@ Experiment::Experiment(const apps::AppDriver& driver, ExperimentSpec spec,
                                   ? spec_.custom_plan(nodes_)
                                   : build_plan(*driver_.app, *driver_.meta, nodes_, spec_.level);
   runtime_ = std::make_unique<comp::Runtime>(sim_, topo_, net_, rmi_, *db_, *driver_.app,
-                                             std::move(plan), cal_.runtime);
+                                             std::move(plan), runtime_config_for(cal_, spec_));
   driver_.bind_entities(*runtime_);
   if (!spec_.fault_plan.empty()) {
     faults_ = std::make_unique<net::FaultInjector>(sim_, topo_, spec_.fault_plan);

@@ -102,12 +102,21 @@ VertexKind kind_for_component(const comp::Application& app, const std::string& n
 
 }  // namespace
 
+std::string database_vertex_name(std::size_t shard) {
+  return shard == 0 ? "__database__" : "__database_s" + std::to_string(shard) + "__";
+}
+
 InteractionGraph build_graph(const comp::Runtime::InteractionProfile& profile,
                              const comp::Application& app, const GraphBuildOptions& opts) {
+  if (opts.db_shards == 0) {
+    throw std::invalid_argument("build_graph: db_shards must be > 0");
+  }
   InteractionGraph g;
   g.add_vertex(Vertex{"__client_local__", VertexKind::kClientLocal, 0.0});
   g.add_vertex(Vertex{"__client_remote__", VertexKind::kClientRemote, 0.0});
-  g.add_vertex(Vertex{"__database__", VertexKind::kDatabase, 0.0});
+  for (std::size_t s = 0; s < opts.db_shards; ++s) {
+    g.add_vertex(Vertex{database_vertex_name(s), VertexKind::kDatabase, 0.0});
+  }
 
   const double window_s = opts.window.as_seconds();
   auto ensure_vertex = [&](const std::string& name) {
@@ -133,6 +142,15 @@ InteractionGraph build_graph(const comp::Runtime::InteractionProfile& profile,
                  opts.http_round_trips, bytes, write_rate * opts.remote_traffic_fraction);
       g.add_edge("__client_local__", to, rate * (1.0 - opts.remote_traffic_fraction),
                  opts.http_round_trips, bytes, write_rate * (1.0 - opts.remote_traffic_fraction));
+    } else if (to == "__database__" && opts.db_shards > 1) {
+      // The hash router spreads pk traffic uniformly and fans scans out to
+      // every shard: split this component's DB interaction evenly across
+      // the per-shard vertices, conserving the total rate.
+      const double share = 1.0 / static_cast<double>(opts.db_shards);
+      for (std::size_t s = 0; s < opts.db_shards; ++s) {
+        g.add_edge(from, database_vertex_name(s), rate * share, opts.rmi_round_trips, bytes,
+                   write_rate * share);
+      }
     } else {
       g.add_edge(from, to, rate, opts.rmi_round_trips, bytes, write_rate);
     }

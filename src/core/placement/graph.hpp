@@ -91,7 +91,16 @@ struct GraphBuildOptions {
   double http_round_trips = 2.0;
   /// Mean WAN round trips per RMI call (1 + ping/DGC extras, §4.2).
   double rmi_round_trips = 1.5;
+  /// Scale-out data tier: with more than one shard the graph gets one
+  /// pinned database vertex per shard (`__database__`, `__database_s1__`,
+  /// ...) and every component's DB traffic splits uniformly across them —
+  /// the multi-main interaction edges the hash router induces. 1 keeps the
+  /// paper's single `__database__` vertex.
+  std::size_t db_shards = 1;
 };
+
+/// Name of shard `s`'s pinned database vertex (`__database__` for shard 0).
+[[nodiscard]] std::string database_vertex_name(std::size_t shard);
 
 /// Builds the interaction graph from a Runtime's measured interaction
 /// profile (typically collected in a centralized profiling run) plus the

@@ -22,6 +22,18 @@ struct PlacementProblem {
   /// Small per-replica maintenance weight (memory, subscription upkeep) so
   /// useless replication is never free.
   double replica_overhead_ms_per_s = 0.05;
+
+  /// Scale-out data tier (matches GraphBuildOptions.db_shards): statements
+  /// fan out across this many main-site shard nodes.
+  int db_shards = 1;
+  /// Mean single-shard database service time per statement. 0 (the
+  /// default) leaves the data tier out of the cost entirely — the paper's
+  /// WAN-only model — so existing problems cost exactly what they did.
+  double db_service_ms = 0.0;
+  /// Coordination cost per extra shard leg per statement (scatter-gather
+  /// messaging on the main site's LAN); the term that stops "more shards"
+  /// from being free.
+  double db_fanout_overhead_ms = 0.1;
 };
 
 /// Decision vector: replicated[i] == true deploys vertex i at every edge.
@@ -96,7 +108,22 @@ class CostModel {
       }
       total += p_.replica_overhead_ms_per_s * static_cast<double>(p_.edge_count);
     }
+    total += data_tier_cost();
     return total;
+  }
+
+  /// Data-tier service cost: every statement is served by its slice of the
+  /// shard fleet in parallel (~1/S the single-shard service time) but pays
+  /// a scatter-gather overhead per extra leg. Zero unless db_service_ms is
+  /// set, so the paper's WAN-only problems are unchanged.
+  [[nodiscard]] double data_tier_cost() const {
+    if (p_.db_service_ms <= 0.0) return 0.0;
+    const double shards = static_cast<double>(p_.db_shards < 1 ? 1 : p_.db_shards);
+    double db_rate = 0.0;
+    for (const Edge& e : p_.graph.edges()) {
+      if (p_.graph.vertex(e.to).kind == VertexKind::kDatabase) db_rate += e.rate;
+    }
+    return db_rate * (p_.db_service_ms / shards + p_.db_fanout_overhead_ms * (shards - 1.0));
   }
 
   /// The cost of keeping everything centralized.

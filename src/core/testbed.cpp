@@ -4,6 +4,7 @@ namespace mutsvc::core {
 
 TestbedNodes build_testbed(net::Topology& topo, const TestbedConfig& cfg) {
   if (cfg.edge_count == 0) throw std::invalid_argument("build_testbed: edge_count must be > 0");
+  if (cfg.db_shards == 0) throw std::invalid_argument("build_testbed: db_shards must be > 0");
 
   TestbedNodes n;
   n.main_server = topo.add_node("main-as", net::NodeRole::kAppServer, cfg.server_cpus);
@@ -23,6 +24,16 @@ TestbedNodes build_testbed(net::Topology& topo, const TestbedConfig& cfg) {
   } else {
     n.db_node = topo.add_node("rdbms", net::NodeRole::kDatabaseServer, cfg.server_cpus);
     topo.add_link(n.main_server, n.db_node, cfg.lan_latency, cfg.lan_bandwidth_bps);
+  }
+  // Scale-out data tier: shard 0 keeps the single-DB placement above (so
+  // db_shards=1 is the paper's topology, node for node); every further
+  // shard is its own workstation on the main site's LAN.
+  n.db_nodes.push_back(n.db_node);
+  for (std::size_t i = 1; i < cfg.db_shards; ++i) {
+    const net::NodeId shard = topo.add_node("rdbms-s" + std::to_string(i),
+                                            net::NodeRole::kDatabaseServer, cfg.server_cpus);
+    topo.add_link(n.main_server, shard, cfg.lan_latency, cfg.lan_bandwidth_bps);
+    n.db_nodes.push_back(shard);
   }
 
   // WAN star through the traffic-shaped software router: 50 ms per hop

@@ -20,6 +20,11 @@ struct TestbedConfig {
   /// Number of edge servers (the paper's testbed has two); each edge gets
   /// its own co-located client group. Used by the scaling experiments.
   std::size_t edge_count = 2;
+  /// Data-tier shards. 1 (the paper's testbed) reproduces the single-RDBMS
+  /// topology exactly; N > 1 gives each shard its own node with its own
+  /// service resource on the main site's LAN. Shard 0 keeps the single-DB
+  /// placement (co-located with the main server, or the "rdbms" node).
+  std::size_t db_shards = 1;
 };
 
 /// Node handles for the scaled-down wide-area testbed of Figure 2:
@@ -29,7 +34,8 @@ struct TestbedConfig {
 struct TestbedNodes {
   net::NodeId main_server;
   std::vector<net::NodeId> edge_servers;  // two edges
-  net::NodeId db_node;                    // == main_server when co-located
+  net::NodeId db_node;                    // shard 0; == main_server when co-located
+  std::vector<net::NodeId> db_nodes;      // one per data-tier shard (db_nodes[0] == db_node)
   net::NodeId wan_hub;                    // the Click software router
   net::NodeId local_clients;              // LAN with the main server
   std::vector<net::NodeId> remote_clients;  // one per edge server

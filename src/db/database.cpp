@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/future.hpp"
+
 namespace mutsvc::db {
 
 Table& Database::create_table(std::string name, std::vector<Column> columns) {
@@ -91,9 +93,67 @@ sim::Duration Database::cost_of(const Query& q, std::size_t result_rows) const {
   return sim::Duration::zero();
 }
 
+std::optional<std::size_t> Database::single_shard(const Query& q) const {
+  if (homes_.size() == 1) return 0;
+  switch (q.kind) {
+    case QueryKind::kPkLookup:
+    case QueryKind::kUpdate:
+    case QueryKind::kDelete:
+      return router_.shard_of(q.pk);
+    case QueryKind::kInsert:
+      // The inserted row's first column is its primary key (Table::insert
+      // enforces this) — the row lands on, and is paid for by, its owner.
+      return router_.shard_of(as_int(q.row.at(0)));
+    case QueryKind::kFinder:
+    case QueryKind::kAggregate:
+    case QueryKind::kKeywordSearch:
+      return std::nullopt;  // scan class: every shard scans its partition
+  }
+  return std::nullopt;
+}
+
+std::vector<Database::ShardSlice> Database::partition_result(const QueryResult& res) const {
+  std::vector<ShardSlice> slices(homes_.size());
+  for (std::size_t i = 0; i < res.rows.size(); ++i) {
+    const Row& r = res.rows[i];
+    // Rows keyed by an integer first column belong to that key's owner;
+    // synthetic aggregate rows (no key column) round-robin by index so the
+    // attribution stays deterministic and balanced.
+    const std::size_t s = (!r.empty() && std::holds_alternative<std::int64_t>(r[0]))
+                              ? router_.shard_of(std::get<std::int64_t>(r[0]))
+                              : i % homes_.size();
+    slices[s].rows += 1;
+    slices[s].bytes += wire_size(r);
+  }
+  for (ShardSlice& s : slices) s.bytes += 16;  // per-shard result envelope
+  return slices;
+}
+
+sim::Task<void> Database::consume_shard(std::size_t shard, Query q, std::size_t rows) {
+  co_await topo_.node(homes_.at(shard)).cpu->consume(cost_of(q, rows));
+}
+
+sim::Task<void> Database::consume_fanout(Query q, std::vector<ShardSlice> slices) {
+  // Every shard scans its own partition concurrently: each pays the
+  // per-kind base plus the per-row cost of its slice, so the fan-out's
+  // latency is governed by the largest slice while the *total* service
+  // demand per shard node shrinks as shards are added.
+  std::vector<sim::Task<void>> legs;
+  legs.reserve(slices.size());
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    legs.push_back(consume_shard(s, q, slices[s].rows));
+  }
+  co_await sim::when_all(topo_.simulator(), std::move(legs));
+}
+
 sim::Task<QueryResult> Database::execute(Query q) {
   QueryResult res = execute_immediate(q);
-  co_await topo_.node(home_).cpu->consume(cost_of(q, res.rows.size()));
+  if (std::optional<std::size_t> shard = single_shard(q)) {
+    co_await topo_.node(homes_[*shard]).cpu->consume(cost_of(q, res.rows.size()));
+    co_return res;
+  }
+  ++cross_shard_;
+  co_await consume_fanout(q, partition_result(res));
   co_return res;
 }
 

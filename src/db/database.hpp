@@ -3,10 +3,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "db/query.hpp"
+#include "db/shard.hpp"
 #include "db/table.hpp"
 #include "net/topology.hpp"
 #include "sim/task.hpp"
@@ -31,23 +34,38 @@ struct DbCostModel {
   sim::Duration del = sim::ms(1.0);
 };
 
-/// The relational database server (Oracle/MySQL stand-in, §3.1).
+/// The relational database tier (Oracle/MySQL stand-in, §3.1) — one logical
+/// database served by one or more shard nodes.
 ///
-/// Executes queries against in-memory tables, charging the configured
-/// service demand to the CPU pool of the node it lives on. The paper's
-/// testbed kept DB utilization under 5%; tests assert ours does too.
+/// Tables stay logically unified (queries see every row, so results are
+/// independent of the shard count), while service time and result traffic
+/// are attributed to the shard nodes that own the touched rows: the
+/// ShardRouter hash-partitions each table's primary-key space, primary-key
+/// operations run entirely on the owning shard, and scan-class queries
+/// (finders, aggregates, keyword searches) fan out to every shard in
+/// parallel, each shard paying for its slice of the result. With one shard
+/// this collapses exactly to the paper's single-RDBMS testbed.
 class Database {
  public:
   using AggregateFn = std::function<std::vector<Row>(Database&, const std::vector<Value>&)>;
 
   Database(net::Topology& topo, net::NodeId home, DbCostModel cost = {})
-      : topo_(topo), home_(home), cost_(cost) {}
+      : Database(topo, std::vector<net::NodeId>{home}, cost) {}
+
+  Database(net::Topology& topo, std::vector<net::NodeId> homes, DbCostModel cost = {})
+      : topo_(topo), homes_(std::move(homes)), cost_(cost), router_(homes_.size()) {
+    if (homes_.empty()) throw std::invalid_argument("Database: needs at least one shard node");
+  }
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  [[nodiscard]] net::NodeId home_node() const { return home_; }
+  /// Shard 0's node — the coordinator, and with one shard the single RDBMS.
+  [[nodiscard]] net::NodeId home_node() const { return homes_.front(); }
   [[nodiscard]] const DbCostModel& cost_model() const { return cost_; }
+  [[nodiscard]] const ShardRouter& router() const { return router_; }
+  [[nodiscard]] std::size_t shard_count() const { return homes_.size(); }
+  [[nodiscard]] net::NodeId shard_node(std::size_t shard) const { return homes_.at(shard); }
 
   Table& create_table(std::string name, std::vector<Column> columns);
   [[nodiscard]] Table& table(const std::string& name);
@@ -57,15 +75,37 @@ class Database {
   /// Registers a named aggregate query (the stand-in for app-specific SQL).
   void register_aggregate(std::string name, AggregateFn fn);
 
-  /// Executes with simulated service time on the DB node's CPUs.
+  /// Executes with simulated service time on the owning shard's CPUs —
+  /// all shards in parallel for fan-out kinds.
   /// NOTE: coroutine — `q` by value (lazy task must own its query).
   [[nodiscard]] sim::Task<QueryResult> execute(Query q);
 
   /// Executes instantly (no simulated cost) — for population and tests.
   QueryResult execute_immediate(const Query& q);
 
+  /// The shard that exclusively serves `q` (primary-key kinds route by the
+  /// key's owner; every kind with one shard), or nullopt for cross-shard
+  /// fan-out kinds.
+  [[nodiscard]] std::optional<std::size_t> single_shard(const Query& q) const;
+
+  /// One shard's share of a fan-out result: its row count and wire bytes.
+  struct ShardSlice {
+    std::size_t rows = 0;
+    net::Bytes bytes = 0;
+  };
+
+  /// Partitions a result across shards, attributing each row to the shard
+  /// owning its primary key (synthetic rows without an integer key column
+  /// round-robin deterministically by index). Sized shard_count().
+  [[nodiscard]] std::vector<ShardSlice> partition_result(const QueryResult& res) const;
+
   /// The service demand `q` would incur given its result size.
   [[nodiscard]] sim::Duration cost_of(const Query& q, std::size_t result_rows) const;
+
+  /// Charges one shard the service demand of its slice of `q` — the JDBC
+  /// scatter-gather legs bill each shard's CPU through this.
+  /// NOTE: coroutine — parameters by value.
+  [[nodiscard]] sim::Task<void> consume_shard(std::size_t shard, Query q, std::size_t rows);
 
   /// Allocates the next primary key for `table` (sequence stand-in).
   [[nodiscard]] std::int64_t allocate_id(const std::string& name) {
@@ -75,16 +115,24 @@ class Database {
 
   [[nodiscard]] std::uint64_t queries_executed() const { return executed_; }
   [[nodiscard]] std::uint64_t writes_executed() const { return writes_; }
+  /// Logical statements that fanned out to more than one shard.
+  [[nodiscard]] std::uint64_t cross_shard_queries() const { return cross_shard_; }
 
  private:
+  /// Charges every shard its slice of the fan-out service demand, in
+  /// parallel. Accepts the slices by value (coroutine).
+  [[nodiscard]] sim::Task<void> consume_fanout(Query q, std::vector<ShardSlice> slices);
+
   net::Topology& topo_;
-  net::NodeId home_;
+  std::vector<net::NodeId> homes_;
   DbCostModel cost_;
+  ShardRouter router_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, AggregateFn> aggregates_;
   std::unordered_map<std::string, std::int64_t> sequences_;
   std::uint64_t executed_ = 0;
   std::uint64_t writes_ = 0;
+  std::uint64_t cross_shard_ = 0;
 };
 
 }  // namespace mutsvc::db

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "db/database.hpp"
 #include "db/query.hpp"
@@ -26,13 +26,21 @@ struct JdbcConfig {
 
 /// JDBC client bound to one (client node, database) pair.
 ///
-/// Wire behaviour per statement: [connection open: one round trip, skipped
-/// when a pooled connection is available] + query round trip carrying the
-/// first fetch batch + one extra round trip per additional fetch batch.
+/// Wire behaviour per statement and shard: [connection open: one round
+/// trip, skipped when a pooled connection to that shard is available] +
+/// query round trip carrying the first fetch batch + one extra round trip
+/// per additional fetch batch. Connections pool per shard. A statement that
+/// only touches one shard (primary-key kinds; everything with one shard)
+/// talks to that shard's node alone; scan-class statements scatter to every
+/// shard in parallel and gather the merged result deterministically.
 class JdbcClient {
  public:
   JdbcClient(net::Network& net, Database& db, net::NodeId client, JdbcConfig cfg = {})
-      : net_(net), db_(db), client_(client), cfg_(cfg) {}
+      : net_(net),
+        db_(db),
+        client_(client),
+        cfg_(cfg),
+        pooled_available_(db.shard_count(), 0) {}
 
   JdbcClient(const JdbcClient&) = delete;
   JdbcClient& operator=(const JdbcClient&) = delete;
@@ -44,17 +52,32 @@ class JdbcClient {
   [[nodiscard]] std::uint64_t statements() const { return statements_; }
   [[nodiscard]] std::uint64_t connections_opened() const { return connections_opened_; }
   [[nodiscard]] std::uint64_t fetch_round_trips() const { return fetch_round_trips_; }
+  /// Statements that scattered to more than one shard.
+  [[nodiscard]] std::uint64_t cross_shard_statements() const { return cross_shard_statements_; }
   [[nodiscard]] const JdbcConfig& config() const { return cfg_; }
 
  private:
+  /// Runs `q` entirely against one shard (the pre-sharding wire sequence).
+  [[nodiscard]] sim::Task<QueryResult> execute_at_shard(Query q, std::size_t shard);
+
+  /// One scatter-gather leg: connection + query + this shard's share of the
+  /// service time and result traffic.
+  [[nodiscard]] sim::Task<void> shard_leg(std::size_t shard, Query q,
+                                          Database::ShardSlice slice);
+
+  /// Ships `bytes` of result rows back in fetch batches.
+  [[nodiscard]] sim::Task<void> fetch_result(net::NodeId server, std::size_t rows,
+                                             net::Bytes bytes);
+
   net::Network& net_;
   Database& db_;
   net::NodeId client_;
   JdbcConfig cfg_;
-  int pooled_available_ = 0;
+  std::vector<int> pooled_available_;  // per shard
   std::uint64_t statements_ = 0;
   std::uint64_t connections_opened_ = 0;
   std::uint64_t fetch_round_trips_ = 0;
+  std::uint64_t cross_shard_statements_ = 0;
 };
 
 }  // namespace mutsvc::db

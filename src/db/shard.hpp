@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace mutsvc::db {
+
+/// Deterministic hash partitioning of primary-key space across N database
+/// shards (the scale-out data tier; RAFDA's "where data lives is a
+/// deployment-time decision" applied to the RDBMS itself).
+///
+/// The mapping is a pure function of (key, shard_count): the same key maps
+/// to the same shard in every run, every process, every platform — the
+/// property the shard battery's determinism suite pins down. The hash is a
+/// splitmix64 finalizer, so consecutive keys spread uniformly instead of
+/// striping (pk % N would put every Nth row on one shard and make the
+/// "hot tail" of freshly inserted rows collide).
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shard_count) : shards_(shard_count) {
+    if (shard_count == 0) throw std::invalid_argument("ShardRouter: shard_count must be > 0");
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_; }
+  [[nodiscard]] bool single() const { return shards_ == 1; }
+
+  [[nodiscard]] std::size_t shard_of(std::int64_t pk) const {
+    if (shards_ == 1) return 0;
+    return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(pk)) %
+                                    static_cast<std::uint64_t>(shards_));
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t shards_;
+};
+
+}  // namespace mutsvc::db

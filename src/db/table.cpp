@@ -53,6 +53,12 @@ void Table::update(std::int64_t pk, Row row) {
   if (row.size() != columns_.size()) {
     throw std::invalid_argument("Table " + name_ + ": wrong arity on update");
   }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (!matches_type(row[i], columns_[i].type)) {
+      throw std::invalid_argument("Table " + name_ + ": type mismatch in column " +
+                                  columns_[i].name);
+    }
+  }
   if (as_int(row[0]) != pk) {
     throw std::invalid_argument("Table " + name_ + ": update must not change primary key");
   }

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mutsvc::msg {
+
+/// Batched update coalescing (§4.5 extended for the sharded data tier):
+/// writers enqueue items into per-lane buffers (one lane per shard topic);
+/// every quantum, each lane's pending items are merged into one message and
+/// flushed, so downstream publish cost scales with lanes × subscribers per
+/// quantum instead of writes × subscribers.
+///
+/// The merge function must be last-write-wins *by version* for overlapping
+/// keys — not by call order — so a flush (and a re-merge after a failed
+/// flush) never rolls state back and never drops final state. The flusher
+/// is a single lazily started simulation task; lanes flush in index order,
+/// so the whole schedule is deterministic.
+template <class T>
+class Coalescer {
+ public:
+  using Merge = std::function<void(T& into, T&& item)>;
+  using Flush = std::function<sim::Task<void>(std::size_t lane, T merged)>;
+
+  Coalescer(sim::Simulator& sim, std::size_t lanes, sim::Duration quantum, Merge merge,
+            Flush flush)
+      : sim_(sim),
+        quantum_(quantum),
+        merge_(std::move(merge)),
+        flush_(std::move(flush)),
+        pending_(lanes),
+        dirty_(lanes, false) {
+    if (lanes == 0) throw std::invalid_argument("Coalescer: needs at least one lane");
+    if (quantum_ <= sim::Duration::zero()) {
+      throw std::invalid_argument("Coalescer: quantum must be positive");
+    }
+  }
+
+  Coalescer(const Coalescer&) = delete;
+  Coalescer& operator=(const Coalescer&) = delete;
+
+  /// Buffers `item` into `lane`'s current quantum; the item reaches the
+  /// flush callback at the next quantum boundary, merged with everything
+  /// else the lane accumulated. Starts the flusher lazily.
+  void enqueue(std::size_t lane, T item) {
+    ++enqueued_;
+    if (dirty_.at(lane)) {
+      ++merges_;
+      merge_(pending_[lane], std::move(item));
+    } else {
+      pending_[lane] = std::move(item);
+      dirty_[lane] = true;
+    }
+    if (!running_) {
+      running_ = true;
+      sim_.spawn(run());
+    }
+  }
+
+  [[nodiscard]] std::size_t lanes() const { return pending_.size(); }
+  [[nodiscard]] sim::Duration quantum() const { return quantum_; }
+  [[nodiscard]] std::uint64_t enqueued() const { return enqueued_; }
+  [[nodiscard]] std::uint64_t merges() const { return merges_; }
+  [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
+  [[nodiscard]] std::uint64_t flush_failures() const { return flush_failures_; }
+
+  /// True when nothing is buffered and no flush is in flight. The flusher
+  /// task itself may still be parked on its quantum timer — that is idle.
+  [[nodiscard]] bool idle() const {
+    if (in_flight_ > 0) return false;
+    for (bool d : dirty_) {
+      if (d) return false;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] sim::Task<void> run() {
+    while (true) {
+      co_await sim_.wait(quantum_);
+      bool flushed_any = false;
+      for (std::size_t lane = 0; lane < pending_.size(); ++lane) {
+        if (!dirty_[lane]) continue;
+        flushed_any = true;
+        T batch = std::move(pending_[lane]);
+        pending_[lane] = T{};
+        dirty_[lane] = false;
+        ++flushes_;
+        ++in_flight_;
+        // The flush gets a copy so a failed flush can re-merge the batch
+        // instead of dropping final state. (co_await is illegal in a catch
+        // block, hence the flag.)
+        bool ok = true;
+        try {
+          co_await flush_(lane, T{batch});
+        } catch (...) {
+          ok = false;
+        }
+        --in_flight_;
+        if (!ok) {
+          ++flush_failures_;
+          // Re-merge under the version-monotonic merge: anything newer
+          // enqueued during the failed flush wins over the old batch.
+          if (dirty_[lane]) {
+            ++merges_;
+            merge_(batch, std::move(pending_[lane]));
+            pending_[lane] = std::move(batch);
+          } else {
+            pending_[lane] = std::move(batch);
+            dirty_[lane] = true;
+          }
+        }
+      }
+      if (!flushed_any) {
+        // A full quantum passed with nothing to do; stop until the next
+        // enqueue restarts the task. No suspension point below, so no
+        // enqueue can slip between this check and the return.
+        running_ = false;
+        co_return;
+      }
+    }
+  }
+
+  sim::Simulator& sim_;
+  sim::Duration quantum_;
+  Merge merge_;
+  Flush flush_;
+  std::vector<T> pending_;
+  std::vector<bool> dirty_;
+  bool running_ = false;
+  std::uint32_t in_flight_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t merges_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t flush_failures_ = 0;
+};
+
+}  // namespace mutsvc::msg

@@ -83,6 +83,17 @@ class Topology {
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] NodeId find(const std::string& name) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Every node carrying `role`, in creation order — e.g. the data tier's
+  /// shard nodes for multi-DB topologies.
+  [[nodiscard]] std::vector<NodeId> nodes_with_role(NodeRole role) const {
+    std::vector<NodeId> out;
+    for (const Node& n : nodes_) {
+      if (n.role == role) out.push_back(n.id);
+    }
+    return out;
+  }
 
   /// Every directed link, in creation order (duplex pairs are adjacent).
   /// Used by the fault injector to pick flap victims and cut partitions.

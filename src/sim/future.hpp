@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "sim/task.hpp"
 
 namespace mutsvc::sim {
 
@@ -101,6 +102,53 @@ class Promise {
  private:
   std::shared_ptr<detail::FutureState<T>> state_;
 };
+
+namespace detail {
+
+// NOTE: coroutine — parameters by value (the lazy task must own them).
+[[nodiscard]] inline Task<void> fulfil_when_done(Task<void> task, Promise<Unit> done) {
+  std::exception_ptr err;
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (err != nullptr) {
+    done.set_exception(std::move(err));
+  } else {
+    done.set_value(Unit{});
+  }
+}
+
+}  // namespace detail
+
+/// Runs `tasks` concurrently (each spawned as its own top-level task, in
+/// index order) and completes once every one has finished. Joins are awaited
+/// in index order, so completion interleaving is deterministic. If any task
+/// threw, the first exception *by index* is rethrown — but only after all
+/// tasks have finished, so no work is abandoned mid-flight.
+///
+/// This is the scatter-gather primitive of the sharded data tier: one leg
+/// per shard, all in flight at once, merged on the caller's coroutine.
+// NOTE: coroutine — `tasks` by value.
+[[nodiscard]] inline Task<void> when_all(Simulator& sim, std::vector<Task<void>> tasks) {
+  std::vector<Future<detail::Unit>> joins;
+  joins.reserve(tasks.size());
+  for (Task<void>& t : tasks) {
+    Promise<detail::Unit> done{sim};
+    joins.push_back(done.future());
+    sim.spawn(detail::fulfil_when_done(std::move(t), std::move(done)));
+  }
+  std::exception_ptr first;
+  for (Future<detail::Unit>& join : joins) {
+    try {
+      (void)co_await join;
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
+}
 
 /// Event-style future with no payload.
 class Signal {

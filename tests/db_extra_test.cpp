@@ -141,5 +141,113 @@ TEST(DbExtraTest, DbCpuStaysUnderPaperBoundDuringQueryStorm) {
   EXPECT_LT(f.topo.node(f.dbn).cpu->utilization(), 0.05);  // §3.1's <5%
 }
 
+// --- secondary-index stability across erase/update paths ---------------------
+//
+// The index stores direct pointers into the row storage (stable std::map
+// nodes, in-place assignment); these regressions pin the invariant across
+// every mutation path — the original suite only exercised insert.
+
+Table indexed_table() {
+  Table t{"item", {{"id", ColumnType::kInt},
+                   {"product", ColumnType::kInt},
+                   {"name", ColumnType::kText}}};
+  t.create_index("product");
+  for (std::int64_t pk = 1; pk <= 6; ++pk) {
+    t.insert(Row{pk, std::int64_t{pk % 2}, std::string{"n"} + std::to_string(pk)});
+  }
+  return t;  // products: odd pks -> 1, even pks -> 0
+}
+
+TEST(TableIndexTest, EraseRemovesOnlyThatRowFromSharedBucket) {
+  Table t = indexed_table();
+  ASSERT_EQ(t.find_equal("product", std::int64_t{1}).size(), 3u);  // pks 1,3,5
+  EXPECT_TRUE(t.erase(3));
+  const auto rows = t.find_equal("product", std::int64_t{1});
+  ASSERT_EQ(rows.size(), 2u);
+  // Surviving entries still dereference to valid, correct row content.
+  EXPECT_EQ(as_int(rows[0][0]), 1);
+  EXPECT_EQ(as_int(rows[1][0]), 5);
+  EXPECT_EQ(as_text(rows[1][2]), "n5");
+}
+
+TEST(TableIndexTest, FullRowUpdateMovesIndexBucket) {
+  Table t = indexed_table();
+  // Move pk 2 from product 0 to product 9 via the full-row path.
+  t.update(2, Row{std::int64_t{2}, std::int64_t{9}, std::string{"moved"}});
+  EXPECT_EQ(t.find_equal("product", std::int64_t{0}).size(), 2u);  // pks 4,6
+  const auto moved = t.find_equal("product", std::int64_t{9});
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(as_int(moved[0][0]), 2);
+  EXPECT_EQ(as_text(moved[0][2]), "moved");  // pointer sees the new content
+}
+
+TEST(TableIndexTest, UpdateColumnOnIndexedColumnMovesBucket) {
+  Table t = indexed_table();
+  t.update_column(1, "product", std::int64_t{7});
+  EXPECT_EQ(t.find_equal("product", std::int64_t{1}).size(), 2u);  // pks 3,5
+  const auto moved = t.find_equal("product", std::int64_t{7});
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(as_int(moved[0][0]), 1);
+}
+
+TEST(TableIndexTest, UpdateColumnOnUnindexedColumnIsVisibleThroughIndex) {
+  Table t = indexed_table();
+  t.update_column(1, "name", std::string{"renamed"});
+  bool seen = false;
+  t.for_each_equal("product", std::int64_t{1}, [&](const Row& row) {
+    if (as_int(row[0]) == 1) {
+      seen = true;
+      EXPECT_EQ(as_text(row[2]), "renamed");  // in-place read via index pointer
+    }
+  });
+  EXPECT_TRUE(seen);
+}
+
+TEST(TableIndexTest, EraseThenReinsertSamePkReindexesCleanly) {
+  Table t = indexed_table();
+  EXPECT_TRUE(t.erase(4));
+  t.insert(Row{std::int64_t{4}, std::int64_t{5}, std::string{"back"}});
+  // Exactly one entry for pk 4, under the new value only.
+  EXPECT_TRUE(t.find_equal("product", std::int64_t{0}).size() == 2);  // pks 2,6
+  const auto rows = t.find_equal("product", std::int64_t{5});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(as_text(rows[0][2]), "back");
+}
+
+TEST(TableIndexTest, IndexCreatedAfterMutationsMatchesScan) {
+  // Building an index over an already-mutated table agrees with a full
+  // scan — and keeps agreeing after further mutations through every path.
+  Table t{"item", {{"id", ColumnType::kInt},
+                   {"product", ColumnType::kInt},
+                   {"name", ColumnType::kText}}};
+  for (std::int64_t pk = 1; pk <= 8; ++pk) {
+    t.insert(Row{pk, std::int64_t{pk % 3}, std::string{"x"}});
+  }
+  t.update_column(1, "product", std::int64_t{2});
+  (void)t.erase(6);
+  t.create_index("product");
+  for (std::int64_t v = 0; v <= 2; ++v) {
+    const auto via_index = t.find_equal("product", Value{v});
+    const std::size_t ci = t.column_index("product");
+    const auto via_scan = t.scan([&](const Row& r) { return r[ci] == Value{v}; });
+    EXPECT_EQ(via_index, via_scan) << "product " << v;
+  }
+}
+
+TEST(TableIndexTest, FullRowUpdateValidatesColumnTypes) {
+  // Regression for the audit's finding: update() must reject rows that
+  // violate the schema exactly like insert() and update_column() do, not
+  // install them (corrupting the typed index keys).
+  Table t = indexed_table();
+  EXPECT_THROW(t.update(1, Row{std::int64_t{1}, std::string{"oops"}, std::string{"n"}}),
+               std::invalid_argument);
+  EXPECT_THROW(t.update(1, Row{std::string{"pk?"}, std::int64_t{1}, std::string{"n"}}),
+               std::invalid_argument);
+  // The failed updates left row and index untouched.
+  const auto rows = t.find_equal("product", std::int64_t{1});
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(as_text((*t.get(1))[2]), "n1");
+}
+
 }  // namespace
 }  // namespace mutsvc::db

@@ -99,6 +99,49 @@ TEST(BuildGraphTest, ProfileSplitsClientTrafficAndKinds) {
   EXPECT_NEAR(local_rate, 1.0 / 3.0, 1e-9);
 }
 
+TEST(BuildGraphTest, ShardedBuildSplitsDatabaseTrafficAcrossPinnedVertices) {
+  comp::Application app{"t"};
+  app.define("Facade", comp::ComponentKind::kStatelessSessionBean);
+  comp::Runtime::InteractionProfile profile;
+  profile[{"Facade", "__database__"}] = {.calls = 3600, .writes = 720, .bytes = 1440000};
+
+  GraphBuildOptions opts;
+  opts.window = sim::sec(3600);
+  opts.db_shards = 3;
+  InteractionGraph g = build_graph(profile, app, opts);
+
+  // One pinned vertex per shard; the multi-main edges conserve the total
+  // 1 call/s (0.2 writes/s) of DB traffic, split uniformly.
+  double rate = 0.0;
+  double write_rate = 0.0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const std::size_t v = g.index_of(database_vertex_name(s));
+    EXPECT_EQ(g.vertex(v).kind, VertexKind::kDatabase);
+    for (const auto& e : g.edges()) {
+      if (e.to != v) continue;
+      EXPECT_NEAR(e.rate, 1.0 / 3.0, 1e-9);
+      rate += e.rate;
+      write_rate += e.write_rate;
+    }
+  }
+  EXPECT_NEAR(rate, 1.0, 1e-9);
+  EXPECT_NEAR(write_rate, 0.2, 1e-9);
+  EXPECT_THROW((void)g.index_of("__database_s3__"), std::invalid_argument);
+  EXPECT_THROW((void)build_graph(profile, app, GraphBuildOptions{.db_shards = 0}),
+               std::invalid_argument);
+}
+
+TEST(BuildGraphTest, SingleShardBuildKeepsTheLegacyDatabaseVertex) {
+  comp::Application app{"t"};
+  app.define("Facade", comp::ComponentKind::kStatelessSessionBean);
+  comp::Runtime::InteractionProfile profile;
+  profile[{"Facade", "__database__"}] = {.calls = 3600, .writes = 0, .bytes = 1440000};
+  InteractionGraph g = build_graph(profile, app, GraphBuildOptions{});
+  EXPECT_TRUE(g.has_vertex("__database__"));
+  EXPECT_FALSE(g.has_vertex("__database_s1__"));
+  EXPECT_EQ(database_vertex_name(0), "__database__");
+}
+
 // --- cost model -------------------------------------------------------------------
 
 TEST(CostModelTest, CentralizedCostCountsRemoteHttp) {
@@ -187,6 +230,66 @@ TEST(CostModelTest, AsyncMakesReplicationOfWriteHotStateCheap) {
   CostModel blocking_model{blocking};
   Assignment a(p.graph.vertex_count(), true);
   EXPECT_LT(async_model.cost(a), blocking_model.cost(a));
+}
+
+/// chain_problem with its DB edge split across `shards` pinned vertices
+/// and the data-tier service term enabled.
+PlacementProblem sharded_problem(int shards, double service_ms = 2.0) {
+  PlacementProblem p;
+  p.graph.add_vertex(Vertex{"__client_local__", VertexKind::kClientLocal});
+  p.graph.add_vertex(Vertex{"__client_remote__", VertexKind::kClientRemote});
+  for (int s = 0; s < shards; ++s) {
+    p.graph.add_vertex(Vertex{database_vertex_name(static_cast<std::size_t>(s)),
+                              VertexKind::kDatabase});
+  }
+  p.graph.add_vertex(Vertex{"Web", VertexKind::kWebComponent});
+  p.graph.add_vertex(Vertex{"Item", VertexKind::kSharedEntity});
+  p.graph.add_edge("__client_remote__", "Web", 20.0, 2.0);
+  p.graph.add_edge("Web", "Item", 25.0, 1.5);
+  for (int s = 0; s < shards; ++s) {
+    p.graph.add_edge("Item", database_vertex_name(static_cast<std::size_t>(s)),
+                     25.0 / shards, 1.0);
+  }
+  p.db_shards = shards;
+  p.db_service_ms = service_ms;
+  return p;
+}
+
+TEST(CostModelTest, DataTierTermIsOffByDefault) {
+  // db_service_ms defaults to 0: a sharded graph costs exactly what its
+  // WAN terms say, and the paper's single-shard problems are untouched.
+  PlacementProblem p = sharded_problem(4, /*service_ms=*/0.0);
+  EXPECT_DOUBLE_EQ(CostModel{p}.data_tier_cost(), 0.0);
+  PlacementProblem legacy = chain_problem();
+  EXPECT_NEAR(CostModel{legacy}.centralized_cost(), 8000.0, 1e-6);
+}
+
+TEST(CostModelTest, ShardingTradesServiceTimeAgainstFanout) {
+  // 25 stmts/s at 2ms: the per-statement service share falls as 1/S while
+  // the scatter-gather overhead grows as (S-1) — costs drop through the
+  // sweet spot, and an absurdly wide fleet costs more than a modest one.
+  const double c1 = CostModel{sharded_problem(1)}.data_tier_cost();
+  const double c2 = CostModel{sharded_problem(2)}.data_tier_cost();
+  const double c4 = CostModel{sharded_problem(4)}.data_tier_cost();
+  EXPECT_NEAR(c1, 25.0 * 2.0, 1e-9);  // no overhead at one shard
+  EXPECT_LT(c2, c1);
+  EXPECT_LT(c4, c2);
+  const double c64 = CostModel{sharded_problem(64)}.data_tier_cost();
+  EXPECT_GT(c64, c4);  // overhead eventually dominates
+}
+
+TEST(CostModelTest, MultiMainEdgesPreserveWanCrossingTotals) {
+  // Splitting the DB edge across shard vertices must not change the WAN
+  // part of the cost: every shard vertex is pinned at the main site, so an
+  // edge-replicated caller pays the same total crossing rate.
+  PlacementProblem one = sharded_problem(1, 0.0);
+  PlacementProblem four = sharded_problem(4, 0.0);
+  CostModel m1{one};
+  CostModel m4{four};
+  Assignment a1(one.graph.vertex_count(), true);
+  Assignment a4(four.graph.vertex_count(), true);
+  EXPECT_NEAR(m1.cost(a1), m4.cost(a4), 1e-9);
+  EXPECT_NEAR(m1.centralized_cost(), m4.centralized_cost(), 1e-9);
 }
 
 // --- algorithms --------------------------------------------------------------------

@@ -1,0 +1,153 @@
+// Golden equivalence for the sharded data tier: with `shards = 1` (the
+// default ShardConfig) every figure-7/8 ladder rung must stay bit-identical
+// to the pre-sharding data tier — same executed-event count, same response
+// summaries, to the last bit. The sharded path is the *only* path, so this
+// suite is what guards the refactor: the constants below were captured from
+// the unsharded baseline and must never drift.
+//
+// Runs under plain ctest and MUTSVC_SIMCHECK=1 (the CI matrix runs the whole
+// suite in both modes); the fingerprints are sim-time-only and deterministic.
+//
+// Regenerating (only legitimate after an intentional simulation change):
+//   MUTSVC_GOLDEN_PRINT=1 ./build/tests/shard_golden_test
+// prints fresh rows to paste over kGolden.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "apps/petstore/petstore.hpp"
+#include "apps/rubis/rubis.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+
+namespace mutsvc::core {
+namespace {
+
+using stats::ClientGroup;
+
+struct GoldenCase {
+  const char* app;
+  ConfigLevel level;
+  std::uint64_t events;   // Simulator::executed_events() — exact
+  std::uint64_t samples;  // post-warm-up page samples — exact
+  std::uint64_t digest;   // FNV-1a over the pattern-mean bit patterns
+};
+
+apps::AppDriver make_driver(const char* app) {
+  if (std::strcmp(app, "petstore") == 0) {
+    static apps::petstore::PetStoreApp petstore;
+    return petstore.driver();
+  }
+  static apps::rubis::RubisApp rubis;
+  return rubis.driver();
+}
+
+HarnessCalibration calibration_for(const char* app) {
+  return std::strcmp(app, "petstore") == 0 ? petstore_calibration() : rubis_calibration();
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t digest_double(std::uint64_t h, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv1a(h, bits);
+}
+
+struct Fingerprint {
+  std::uint64_t events = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t digest = 0;
+};
+
+Fingerprint run_case(const char* app, ConfigLevel level) {
+  apps::AppDriver driver = make_driver(app);
+  ExperimentSpec spec;
+  spec.level = level;
+  spec.duration = sim::sec(180);
+  spec.warmup = sim::sec(30);
+  Experiment exp{driver, spec, calibration_for(app)};
+  exp.run();
+
+  Fingerprint fp;
+  fp.events = exp.simulator().executed_events();
+  fp.samples = exp.results().total_samples();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::string& pattern : {driver.browser_pattern, driver.writer_pattern}) {
+    for (ClientGroup g : {ClientGroup::kLocal, ClientGroup::kRemote}) {
+      h = digest_double(h, exp.results().pattern_mean_ms(pattern, g));
+    }
+  }
+  h = fnv1a(h, exp.results().failures());
+  h = fnv1a(h, exp.results().discarded_samples());
+  fp.digest = h;
+  return fp;
+}
+
+const char* level_name(ConfigLevel level) {
+  switch (level) {
+    case ConfigLevel::kCentralized: return "ConfigLevel::kCentralized";
+    case ConfigLevel::kRemoteFacade: return "ConfigLevel::kRemoteFacade";
+    case ConfigLevel::kStatefulComponentCaching: return "ConfigLevel::kStatefulComponentCaching";
+    case ConfigLevel::kQueryCaching: return "ConfigLevel::kQueryCaching";
+    case ConfigLevel::kAsyncUpdates: return "ConfigLevel::kAsyncUpdates";
+  }
+  return "?";
+}
+
+// Captured from the pre-sharding baseline (seed of this PR): 180 s / 30 s
+// warm-up, default spec, both figure apps, all five rungs.
+const GoldenCase kGolden[] = {
+    {"petstore", ConfigLevel::kCentralized, 181756ULL, 4422ULL, 4317317305918343935ULL},
+    {"petstore", ConfigLevel::kRemoteFacade, 141237ULL, 4421ULL, 14993410892988634727ULL},
+    {"petstore", ConfigLevel::kStatefulComponentCaching, 138755ULL, 4424ULL,
+     3907525992910197175ULL},
+    {"petstore", ConfigLevel::kQueryCaching, 120864ULL, 4423ULL, 4244487511749618147ULL},
+    {"petstore", ConfigLevel::kAsyncUpdates, 120550ULL, 4423ULL, 6782764371769714750ULL},
+    {"rubis", ConfigLevel::kCentralized, 112824ULL, 4466ULL, 16537404889437813069ULL},
+    {"rubis", ConfigLevel::kRemoteFacade, 117457ULL, 4464ULL, 18150912617311707733ULL},
+    {"rubis", ConfigLevel::kStatefulComponentCaching, 120943ULL, 4463ULL,
+     1213779533445846115ULL},
+    {"rubis", ConfigLevel::kQueryCaching, 114144ULL, 4460ULL, 2946415075464466939ULL},
+    {"rubis", ConfigLevel::kAsyncUpdates, 112986ULL, 4461ULL, 17491226175581796016ULL},
+};
+
+class ShardGoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(ShardGoldenTest, ShardsOneMatchesUnshardedBaseline) {
+  const GoldenCase& g = GetParam();
+  const Fingerprint fp = run_case(g.app, g.level);
+  if (std::getenv("MUTSVC_GOLDEN_PRINT") != nullptr) {
+    std::printf("    {\"%s\", %s, %lluULL, %lluULL, %lluULL},\n", g.app, level_name(g.level),
+                static_cast<unsigned long long>(fp.events),
+                static_cast<unsigned long long>(fp.samples),
+                static_cast<unsigned long long>(fp.digest));
+    return;
+  }
+  EXPECT_EQ(fp.events, g.events) << g.app << " " << level_name(g.level)
+                                 << ": executed-event trajectory diverged from the unsharded "
+                                    "baseline";
+  EXPECT_EQ(fp.samples, g.samples) << g.app << " " << level_name(g.level);
+  EXPECT_EQ(fp.digest, g.digest) << g.app << " " << level_name(g.level)
+                                 << ": response summaries diverged from the unsharded baseline";
+}
+
+std::string golden_name(const ::testing::TestParamInfo<GoldenCase>& info) {
+  std::string level = level_name(info.param.level);
+  return std::string(info.param.app) + "_" + level.substr(level.find("::k") + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ladder, ShardGoldenTest, ::testing::ValuesIn(kGolden), golden_name);
+
+}  // namespace
+}  // namespace mutsvc::core
