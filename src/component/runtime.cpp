@@ -126,6 +126,10 @@ Runtime::Runtime(sim::Simulator& sim, net::Topology& topo, net::Network& net,
             return publish_lane(lane, std::move(merged));
           });
     }
+    if (cfg_.flow.enabled) {
+      for (auto& t : topics_) t->set_bound(cfg_.flow.topic_queue, cfg_.flow.backpressure);
+      if (coalescer_) coalescer_->set_bound(cfg_.flow.coalescer_lane);
+    }
   }
 }
 
@@ -199,12 +203,31 @@ void Runtime::sample_metrics(sim::SimTime now, sim::Duration window) {
     m.set_counter(p + "delivery_retries", t->delivery_retries());
     m.set_gauge(p + "queue_depth", static_cast<double>(t->queue_depth()));
     m.series(p + "pending", window).add(now, static_cast<double>(t->pending()));
+    m.series(p + "queue_depth", window).add(now, static_cast<double>(t->queue_depth()));
+    if (cfg_.flow.enabled) {
+      m.set_counter(p + "shed", t->shed());
+      m.set_counter(p + "bounced", t->bounced());
+      m.set_counter(p + "spilled", t->spilled());
+      m.set_counter(p + "credit_stalls", t->credit_stalls());
+      m.set_gauge(p + "spill_depth", static_cast<double>(t->spill_depth()));
+    }
   }
   if (coalescer_ != nullptr) {
     m.set_counter("coalescer.enqueued", coalescer_->enqueued());
     m.set_counter("coalescer.merges", coalescer_->merges());
     m.set_counter("coalescer.flushes", coalescer_->flushes());
     m.set_counter("coalescer.flush_failures", coalescer_->flush_failures());
+    for (std::size_t lane = 0; lane < coalescer_->lanes(); ++lane) {
+      m.series("coalescer.lane" + std::to_string(lane) + ".depth", window)
+          .add(now, static_cast<double>(coalescer_->lane_depth(lane)));
+    }
+    if (cfg_.flow.enabled) {
+      m.set_counter("coalescer.enqueue_attempts", coalescer_->enqueue_attempts());
+      m.set_counter("coalescer.shed", coalescer_->shed());
+      m.set_counter("coalescer.bounced", coalescer_->bounced());
+      m.set_counter("coalescer.spilled", coalescer_->spilled());
+      m.set_gauge("coalescer.spill_depth", static_cast<double>(coalescer_->spill_depth()));
+    }
   }
   for (const auto& [edge, q] : write_queues_) {
     m.series("writequeue." + topo_.node(edge).name + ".pending", window)
@@ -258,6 +281,7 @@ msg::Topic<Runtime::QueuedWrite>& Runtime::write_queue(net::NodeId edge) {
     topic->set_retry_interval(sim::sec(1));
     topic->subscribe(plan_.main_server(),
                      [this](const QueuedWrite& w) { return apply_queued_write(w); });
+    if (cfg_.flow.enabled) topic->set_bound(cfg_.flow.write_queue);
     it = write_queues_.emplace(edge, std::move(topic)).first;
   }
   return *it->second;
@@ -560,12 +584,15 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
     // Graceful degradation, fast path: master unreachable (breaker open) —
     // accept the write locally and queue it for redelivery.
     if (may_queue && rmi_.fast_fail(primary)) {
-      ++queued_writes_;
       // GCC 12 miscompiles braced temporaries inside co_await expressions
       // (bitwise frame spill) — build a named local instead.
       QueuedWrite queued{entity, write, affected_queries};
       const sim::SimTime q0 = sim_.now();
+      // Counted only after the queue accepted the write: a bounced publish
+      // (bounded write queue, kBounce) was never queued, so it must not
+      // enter the write-queue conservation identity.
       co_await write_queue(node).publish(node, std::move(queued), wire, trace);
+      ++queued_writes_;
       if (trace) trace->add(SpanKind::kPublish, sim_.now() - q0);
       co_return;
     }
@@ -586,10 +613,10 @@ sim::Task<void> Runtime::write_impl(CallContext* ctx, net::NodeId node,
       if (!may_queue) throw;
     }
     if (!ok) {
-      ++queued_writes_;
       QueuedWrite queued{std::move(entity), std::move(write), std::move(affected_queries)};
       const sim::SimTime q0 = sim_.now();
       co_await write_queue(node).publish(node, std::move(queued), wire, trace);
+      ++queued_writes_;
       if (trace) trace->add(SpanKind::kPublish, sim_.now() - q0);
     }
     co_return;
@@ -824,6 +851,13 @@ std::vector<cache::UpdateBatch> Runtime::split_by_shard(cache::UpdateBatch batch
 }
 
 sim::Task<void> Runtime::publish_lane(std::size_t lane, cache::UpdateBatch batch) {
+  // Backpressure (flow control §4): when a subscriber's backlog crosses the
+  // topic's high watermark its credit gate closes, parking the coalescer
+  // flush (and direct publishers) until the drain brings the backlog back
+  // under the low watermark. With the gate open this completes
+  // synchronously — no simulator event, so the unprotected trajectory is
+  // untouched.
+  if (backpressure_enabled()) co_await topics_.at(lane)->credit_wait();
   const net::Bytes bytes = batch.wire_bytes(cfg_.delta_encoding);
   co_await topics_.at(lane)->publish(plan_.main_server(), std::move(batch), bytes, nullptr);
 }
@@ -862,6 +896,7 @@ sim::Task<void> Runtime::publish_async(cache::UpdateBatch batch, TraceSink* trac
   co_await sim_.wait(cfg_.jms_accept);
   if (topics_.size() == 1 && coalescer_ == nullptr) {
     // Unsharded, uncoalesced: the paper's §4.5 path, event for event.
+    if (backpressure_enabled()) co_await topics_[0]->credit_wait();
     const net::Bytes bytes = batch.wire_bytes(cfg_.delta_encoding);
     co_await topics_[0]->publish(plan_.main_server(), std::move(batch), bytes, trace);
   } else {
@@ -873,6 +908,7 @@ sim::Task<void> Runtime::publish_async(cache::UpdateBatch batch, TraceSink* trac
         // once the provider has the dirty state.
         coalescer_->enqueue(s, std::move(lanes[s]));
       } else {
+        if (backpressure_enabled()) co_await topics_[s]->credit_wait();
         const net::Bytes bytes = lanes[s].wire_bytes(cfg_.delta_encoding);
         co_await topics_[s]->publish(plan_.main_server(), std::move(lanes[s]), bytes, trace);
       }

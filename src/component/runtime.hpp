@@ -21,6 +21,7 @@
 #include "db/jdbc.hpp"
 #include "messaging/coalescer.hpp"
 #include "messaging/topic.hpp"
+#include "net/flowcontrol.hpp"
 #include "net/http.hpp"
 #include "net/network.hpp"
 #include "net/rmi.hpp"
@@ -49,6 +50,10 @@ struct RuntimeConfig {
   /// default, the paper's configuration) disables expiry — freshness is
   /// the push protocol's job.
   sim::Duration ro_ttl = sim::Duration::zero();
+  /// Overload protection knobs (net/flowcontrol.hpp). Disabled by default:
+  /// no bounds are installed, so every flow-control branch in the runtime
+  /// is dead and the trajectory is bit-identical to the unprotected build.
+  net::FlowControlConfig flow;
 };
 
 struct CallResult {
@@ -300,9 +305,52 @@ class Runtime {
   }
 
   /// True when every queued degraded-mode write has been applied (or
-  /// dropped after exhausting redelivery).
+  /// dropped after exhausting redelivery, or terminally shed by a bounded
+  /// write queue under the kDrop overflow policy).
   [[nodiscard]] bool write_queues_quiescent() const {
-    return queued_writes_ == queued_writes_applied_ + queued_writes_dropped_;
+    return queued_writes_ ==
+           queued_writes_applied_ + queued_writes_dropped_ + write_queue_shed();
+  }
+
+  // --- flow-control accounting ---------------------------------------------
+  /// Queued degraded-mode writes shed by bounded write queues (kDrop), summed
+  /// across edges.
+  [[nodiscard]] std::uint64_t write_queue_shed() const {
+    std::uint64_t n = 0;
+    for (const auto& [edge, q] : write_queues_) n += q->shed();
+    return n;
+  }
+  /// Degraded-mode writes bounced by bounded write queues (kBounce), summed
+  /// across edges. Bounced writes were never accepted, so they do not count
+  /// toward queued_writes().
+  [[nodiscard]] std::uint64_t write_queue_bounced() const {
+    std::uint64_t n = 0;
+    for (const auto& [edge, q] : write_queues_) n += q->bounced();
+    return n;
+  }
+  /// Update-fan-out deliveries shed across all shard topics (kDrop).
+  [[nodiscard]] std::uint64_t topic_shed() const {
+    std::uint64_t n = 0;
+    for (const auto& t : topics_) n += t->shed();
+    return n;
+  }
+  /// Async publishes bounced by bounded shard topics (kBounce).
+  [[nodiscard]] std::uint64_t topic_bounced() const {
+    std::uint64_t n = 0;
+    for (const auto& t : topics_) n += t->bounced();
+    return n;
+  }
+  /// Deliveries parked in per-subscriber spill buffers (kLocalOverflow).
+  [[nodiscard]] std::uint64_t topic_spilled() const {
+    std::uint64_t n = 0;
+    for (const auto& t : topics_) n += t->spilled();
+    return n;
+  }
+  /// Publisher stalls absorbed by topic credit gates (backpressure).
+  [[nodiscard]] std::uint64_t credit_stalls() const {
+    std::uint64_t n = 0;
+    for (const auto& t : topics_) n += t->credit_stalls();
+    return n;
   }
 
  private:
@@ -318,6 +366,12 @@ class Runtime {
 
   /// True when the middleware-level degradation policy is active.
   [[nodiscard]] bool degraded_mode() const { return rmi_.resilience().enabled; }
+
+  /// True when publishers should wait on topic credit gates before
+  /// publishing (flow control enabled, backpressure on, bounded topics).
+  [[nodiscard]] bool backpressure_enabled() const {
+    return cfg_.flow.enabled && cfg_.flow.backpressure && cfg_.flow.topic_queue.bounded();
+  }
 
   /// Bounded staleness check for degraded reads: the entry at `version` may
   /// be served when it lags the master by at most the plan's TACT staleness

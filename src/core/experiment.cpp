@@ -15,6 +15,7 @@ comp::RuntimeConfig runtime_config_for(const HarnessCalibration& cal,
                                        const ExperimentSpec& spec) {
   comp::RuntimeConfig cfg = cal.runtime;
   cfg.coalesce_quantum = spec.shard.coalesce_quantum;
+  cfg.flow = spec.flow;
   return cfg;
 }
 }  // namespace
@@ -42,6 +43,9 @@ Experiment::Experiment(const apps::AppDriver& driver, ExperimentSpec spec,
   runtime_ = std::make_unique<comp::Runtime>(sim_, topo_, net_, rmi_, *db_, *driver_.app,
                                              std::move(plan), runtime_config_for(cal_, spec_));
   driver_.bind_entities(*runtime_);
+  if (spec_.flow.enabled && spec_.flow.wan_rate_bps > 0.0) {
+    net_.set_wan_rate_limit(spec_.flow.wan_rate_bps, spec_.flow.wan_burst_bytes);
+  }
   if (!spec_.fault_plan.empty()) {
     faults_ = std::make_unique<net::FaultInjector>(sim_, topo_, spec_.fault_plan);
     faults_->set_restart_listener(
@@ -63,9 +67,26 @@ sim::FifoResource& Experiment::thread_pool(net::NodeId server) {
   return *it->second;
 }
 
-sim::Task<bool> Experiment::execute(net::NodeId client_node,
-                                    const workload::PageRequest& request) {
+sim::Task<workload::RequestOutcome> Experiment::execute(net::NodeId client_node,
+                                                        const workload::PageRequest& request) {
   net::NodeId server = runtime_->plan().entry_point(client_node);
+  // Admission control (flow control §1): a deterministic token bucket per
+  // entry node sheds excess pages up front — the cheapest place to refuse
+  // work is before any of it happens. Refusal is instant (no sim time).
+  if (spec_.flow.enabled && spec_.flow.admission_rate > 0.0) {
+    auto it = admission_.find(server);
+    if (it == admission_.end()) {
+      it = admission_
+               .emplace(server, net::TokenBucket{spec_.flow.admission_rate,
+                                                 spec_.flow.admission_burst})
+               .first;
+    }
+    if (!it->second.try_acquire(sim_.now())) {
+      ++rejected_admission_;
+      co_return workload::RequestOutcome::kRejected;
+    }
+  }
+  ++admitted_;
   const int max_page_retries = spec_.resilience.enabled ? spec_.resilience.http_retries : 0;
   for (int attempt = 0;;) {
     enum class Outcome { kOk, kUnreachable, kFailed };
@@ -77,7 +98,7 @@ sim::Task<bool> Experiment::execute(net::NodeId client_node,
     } catch (const net::NetError&) {
       out = Outcome::kFailed;  // lost messages / open breaker: transient
     }
-    if (out == Outcome::kOk) co_return true;
+    if (out == Outcome::kOk) co_return workload::RequestOutcome::kOk;
 
     if (out == Outcome::kUnreachable) {
       // Connection attempt to a dead/partitioned server: the client notices
@@ -85,7 +106,7 @@ sim::Task<bool> Experiment::execute(net::NodeId client_node,
       co_await sim_.wait(spec_.failover_timeout);
       if (!spec_.failover_enabled || server == nodes_.main_server) {
         ++dropped_;
-        co_return false;
+        co_return workload::RequestOutcome::kFailed;
       }
       // §1: "client requests can utilize several entry points into the
       // service" — fall back to the main server. Switching entry points does
@@ -100,7 +121,7 @@ sim::Task<bool> Experiment::execute(net::NodeId client_node,
     // resilience policy allows) after a short pause.
     if (attempt >= max_page_retries) {
       ++dropped_;
-      co_return false;
+      co_return workload::RequestOutcome::kFailed;
     }
     ++attempt;
     co_await sim_.wait(sim::ms(200 * attempt));
@@ -159,6 +180,17 @@ sim::Task<void> Experiment::metrics_sampler(sim::SimTime end) {
   while (sim_.now() < end) {
     co_await sim_.wait(metrics_window_);
     runtime_->sample_metrics(sim_.now(), metrics_window_);
+    if (spec_.flow.enabled) {
+      for (const auto& [node, bucket] : admission_) {
+        stats::MetricsRegistry& reg = runtime_->metrics(node);
+        reg.set_counter("flow.admission.admitted", bucket.admitted());
+        reg.set_counter("flow.admission.rejected", bucket.rejected());
+      }
+      stats::MetricsRegistry& main = runtime_->metrics(nodes_.main_server);
+      main.set_counter("flow.wan.throttled", net_.wan_throttled());
+      main.set_counter("flow.wan.throttle_ms",
+                       static_cast<std::uint64_t>(net_.wan_throttle_time().as_millis()));
+    }
   }
 }
 
@@ -178,7 +210,11 @@ void Experiment::run() {
     s.browser_fraction = spec_.browser_fraction;
     s.browser_factory = driver_.browser_factory(root.fork(tag + "-browser"));
     s.writer_factory = driver_.writer_factory(root.fork(tag + "-writer"));
-    loadgen_->start_group(s, end, root.fork(tag + "-clients"));
+    if (spec_.open_loop_arrivals) {
+      loadgen_->start_open_group(s, end, root.fork(tag + "-clients"));
+    } else {
+      loadgen_->start_group(s, end, root.fork(tag + "-clients"));
+    }
   };
 
   start_group(nodes_.local_clients, stats::ClientGroup::kLocal, "local");

@@ -11,6 +11,7 @@
 #include "core/testbed.hpp"
 #include "db/database.hpp"
 #include "net/faults.hpp"
+#include "net/flowcontrol.hpp"
 #include "net/http.hpp"
 #include "net/network.hpp"
 #include "net/resilience.hpp"
@@ -68,6 +69,15 @@ struct ExperimentSpec {
   /// Middleware resilience policy: RMI retry/timeout/circuit-breaker plus
   /// client-side whole-page retries. Disabled by default (seed behavior).
   net::ResilienceConfig resilience;
+  /// Overload protection: admission control, bounded queues with shedding,
+  /// WAN rate limits, backpressure. Off by default — a disabled config is
+  /// bit-identical to the pre-flow-control harness (golden-enforced).
+  net::FlowControlConfig flow;
+  /// Flash-crowd arrival process: open-loop Poisson arrivals at the spec
+  /// rate instead of the paper's closed-loop client fleet. The offered
+  /// load then stays up when the service saturates — the regime overload
+  /// protection exists for. Default keeps §3.3's closed loop.
+  bool open_loop_arrivals = false;
 };
 
 /// One full testbed run: Figure 2 topology + application + configuration
@@ -113,14 +123,32 @@ class Experiment final : public workload::RequestExecutor {
   }
 
   // workload::RequestExecutor: one HTTP page request end to end, with
+  // admission control at the entry node (when flow control enables it),
   // entry-point failover on unreachable servers and (when resilience is
   // enabled) bounded whole-page retries on transient network faults.
-  // Returns false when the request was ultimately dropped.
-  [[nodiscard]] sim::Task<bool> execute(net::NodeId client_node,
-                                        const workload::PageRequest& request) override;
+  // kFailed means the request was ultimately dropped; kRejected means
+  // admission refused it up front.
+  [[nodiscard]] sim::Task<workload::RequestOutcome> execute(
+      net::NodeId client_node, const workload::PageRequest& request) override;
 
   [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
   [[nodiscard]] std::uint64_t dropped_requests() const { return dropped_; }
+
+  // --- admission accounting -------------------------------------------------
+  // Counted at execute() entry, so the identity
+  //   pages_started == requests_admitted + rejected_admission
+  // holds exactly at any instant (requests_issued counts completions and
+  // can momentarily trail it by the in-flight pages).
+  [[nodiscard]] std::uint64_t pages_started() const { return admitted_ + rejected_admission_; }
+  [[nodiscard]] std::uint64_t requests_admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected_admission() const { return rejected_admission_; }
+
+  /// Lets a bench observe every post-warm-up response sample (milliseconds)
+  /// without enabling the full metrics pipeline. Mutually exclusive with
+  /// enable_metrics (both install the collector's single observer hook).
+  void set_response_observer(std::function<void(double)> obs) {
+    collector_.set_observer(std::move(obs));
+  }
 
   /// Page requests the load generator issued (counted at completion). The
   /// conservation identity — issued == recorded samples + failures +
@@ -163,8 +191,13 @@ class Experiment final : public workload::RequestExecutor {
   stats::ResponseTimeCollector collector_;
   std::unique_ptr<workload::LoadGenerator> loadgen_;
   std::map<net::NodeId, std::unique_ptr<sim::FifoResource>> thread_pools_;
+  /// One admission bucket per entry node (lazily created; empty unless the
+  /// flow config enables admission control).
+  std::map<net::NodeId, net::TokenBucket> admission_;
   std::uint64_t failovers_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_admission_ = 0;
   sim::Duration metrics_window_ = sim::Duration::zero();
   std::uint64_t trace_counter_ = 0;
 };

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <stdexcept>
 #include <vector>
 
+#include "net/flowcontrol.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -22,6 +24,14 @@ namespace mutsvc::msg {
 /// flush) never rolls state back and never drops final state. The flusher
 /// is a single lazily started simulation task; lanes flush in index order,
 /// so the whole schedule is deterministic.
+///
+/// Overload protection (opt-in via set_bound): each lane tracks its logical
+/// depth — items buffered since the last successful flush. At capacity an
+/// arriving item is dropped, bounced (OverloadError to the writer, who
+/// retries like any transient failure), or spilled into a per-lane overflow
+/// buffer that re-merges into the lane after its next successful flush
+/// (depth back at zero, i.e. under any low watermark). Unbounded lanes
+/// (the default) behave exactly like the original.
 template <class T>
 class Coalescer {
  public:
@@ -35,7 +45,9 @@ class Coalescer {
         merge_(std::move(merge)),
         flush_(std::move(flush)),
         pending_(lanes),
-        dirty_(lanes, false) {
+        dirty_(lanes, false),
+        depth_(lanes, 0),
+        spill_(lanes) {
     if (lanes == 0) throw std::invalid_argument("Coalescer: needs at least one lane");
     if (quantum_ <= sim::Duration::zero()) {
       throw std::invalid_argument("Coalescer: quantum must be positive");
@@ -45,22 +57,35 @@ class Coalescer {
   Coalescer(const Coalescer&) = delete;
   Coalescer& operator=(const Coalescer&) = delete;
 
+  /// Bounds every lane's logical depth with `b` (see class comment).
+  void set_bound(const net::QueueBound& b) { bound_ = b; }
+  [[nodiscard]] const net::QueueBound& bound() const { return bound_; }
+
   /// Buffers `item` into `lane`'s current quantum; the item reaches the
   /// flush callback at the next quantum boundary, merged with everything
-  /// else the lane accumulated. Starts the flusher lazily.
+  /// else the lane accumulated. Starts the flusher lazily. A lane at
+  /// capacity sheds / bounces / spills per the installed bound.
   void enqueue(std::size_t lane, T item) {
-    ++enqueued_;
-    if (dirty_.at(lane)) {
-      ++merges_;
-      merge_(pending_[lane], std::move(item));
-    } else {
-      pending_[lane] = std::move(item);
-      dirty_[lane] = true;
+    if (bound_.bounded() && depth_.at(lane) >= bound_.capacity) {
+      switch (bound_.policy) {
+        case net::OverflowPolicy::kBounce:
+          ++bounced_;
+          throw net::OverloadError("Coalescer: lane " + std::to_string(lane) + " at capacity");
+        case net::OverflowPolicy::kLocalOverflow:
+          if (bound_.spill_capacity == 0 || spill_[lane].size() < bound_.spill_capacity) {
+            spill_[lane].push_back(std::move(item));
+            ++spilled_;
+            ensure_running();
+            return;
+          }
+          [[fallthrough]];  // spill buffer full: terminal shed
+        case net::OverflowPolicy::kDrop:
+          ++shed_;
+          return;
+      }
     }
-    if (!running_) {
-      running_ = true;
-      sim_.spawn(run());
-    }
+    accept(lane, std::move(item));
+    ensure_running();
   }
 
   [[nodiscard]] std::size_t lanes() const { return pending_.size(); }
@@ -70,17 +95,70 @@ class Coalescer {
   [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
   [[nodiscard]] std::uint64_t flush_failures() const { return flush_failures_; }
 
-  /// True when nothing is buffered and no flush is in flight. The flusher
-  /// task itself may still be parked on its quantum timer — that is idle.
+  // --- overload accounting (all zero while unbounded) ----------------------
+  // Conservation: every enqueue() call lands in exactly one of
+  // enqueued (accepted into a lane) / spilled / shed / bounced, so
+  // enqueue_attempts == enqueued + spilled + shed + bounced at any time.
+  // Spilled items re-enter a lane after its next successful flush without
+  // recounting as enqueued.
+  [[nodiscard]] std::uint64_t enqueue_attempts() const {
+    return enqueued_ + spilled_ + shed_ + bounced_;
+  }
+  [[nodiscard]] std::uint64_t shed() const { return shed_; }
+  [[nodiscard]] std::uint64_t bounced() const { return bounced_; }
+  [[nodiscard]] std::uint64_t spilled() const { return spilled_; }
+
+  /// Items buffered in `lane` since its last successful flush (the
+  /// watermarked quantity).
+  [[nodiscard]] std::uint64_t lane_depth(std::size_t lane) const { return depth_.at(lane); }
+  [[nodiscard]] std::uint64_t total_depth() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t d : depth_) n += d;
+    return n;
+  }
+  [[nodiscard]] std::size_t spill_depth() const {
+    std::size_t n = 0;
+    for (const auto& s : spill_) n += s.size();
+    return n;
+  }
+
+  /// True when nothing is buffered (spill included) and no flush is in
+  /// flight. The flusher task itself may still be parked on its quantum
+  /// timer — that is idle.
   [[nodiscard]] bool idle() const {
     if (in_flight_ > 0) return false;
     for (bool d : dirty_) {
       if (d) return false;
     }
+    for (const auto& s : spill_) {
+      if (!s.empty()) return false;
+    }
     return true;
   }
 
  private:
+  /// `count_enqueued` is false when re-accepting a drained spill item: it
+  /// was already counted as spilled, so counting it as enqueued too would
+  /// break the conservation identity above.
+  void accept(std::size_t lane, T item, bool count_enqueued = true) {
+    if (count_enqueued) ++enqueued_;
+    ++depth_[lane];
+    if (dirty_.at(lane)) {
+      ++merges_;
+      merge_(pending_[lane], std::move(item));
+    } else {
+      pending_[lane] = std::move(item);
+      dirty_[lane] = true;
+    }
+  }
+
+  void ensure_running() {
+    if (!running_) {
+      running_ = true;
+      sim_.spawn(run());
+    }
+  }
+
   [[nodiscard]] sim::Task<void> run() {
     while (true) {
       co_await sim_.wait(quantum_);
@@ -91,6 +169,8 @@ class Coalescer {
         T batch = std::move(pending_[lane]);
         pending_[lane] = T{};
         dirty_[lane] = false;
+        const std::uint64_t batch_depth = depth_[lane];
+        depth_[lane] = 0;
         ++flushes_;
         ++in_flight_;
         // The flush gets a copy so a failed flush can re-merge the batch
@@ -106,7 +186,9 @@ class Coalescer {
         if (!ok) {
           ++flush_failures_;
           // Re-merge under the version-monotonic merge: anything newer
-          // enqueued during the failed flush wins over the old batch.
+          // enqueued during the failed flush wins over the old batch. The
+          // batch's logical depth comes back with it.
+          depth_[lane] += batch_depth;
           if (dirty_[lane]) {
             ++merges_;
             merge_(batch, std::move(pending_[lane]));
@@ -114,6 +196,14 @@ class Coalescer {
           } else {
             pending_[lane] = std::move(batch);
             dirty_[lane] = true;
+          }
+        } else {
+          // Successful flush: the lane is empty (at/under any low
+          // watermark), so drain spilled items back in, up to capacity.
+          while (!spill_[lane].empty() &&
+                 (!bound_.bounded() || depth_[lane] < bound_.capacity)) {
+            accept(lane, std::move(spill_[lane].front()), /*count_enqueued=*/false);
+            spill_[lane].pop_front();
           }
         }
       }
@@ -133,12 +223,18 @@ class Coalescer {
   Flush flush_;
   std::vector<T> pending_;
   std::vector<bool> dirty_;
+  std::vector<std::uint64_t> depth_;
+  std::vector<std::deque<T>> spill_;
+  net::QueueBound bound_;
   bool running_ = false;
   std::uint32_t in_flight_ = 0;
   std::uint64_t enqueued_ = 0;
   std::uint64_t merges_ = 0;
   std::uint64_t flushes_ = 0;
   std::uint64_t flush_failures_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t bounced_ = 0;
+  std::uint64_t spilled_ = 0;
 };
 
 }  // namespace mutsvc::msg

@@ -82,6 +82,29 @@ class ResponseTimeCollector {
     return it == pattern_failures_.end() ? 0 : it->second;
   }
 
+  /// Records one page request refused up front by admission control — the
+  /// distinct `rejected_admission` outcome. Intentional shedding, so it is
+  /// counted apart from failures (which mean something broke). Rejections
+  /// inside the warm-up window are discarded like samples.
+  void record_rejection(sim::SimTime at, const std::string& page, const std::string& pattern,
+                        ClientGroup group) {
+    (void)page;
+    if (at < sim::SimTime::origin() + warmup_) {
+      ++discarded_;
+      return;
+    }
+    ++rejections_;
+    ++pattern_rejections_[{pattern, group}];
+  }
+
+  [[nodiscard]] std::uint64_t rejections() const { return rejections_; }
+
+  [[nodiscard]] std::uint64_t pattern_rejections(const std::string& pattern,
+                                                 ClientGroup group) const {
+    auto it = pattern_rejections_.find({pattern, group});
+    return it == pattern_rejections_.end() ? 0 : it->second;
+  }
+
   /// Fraction of post-warmup requests that succeeded (1.0 when idle).
   [[nodiscard]] double success_fraction() const {
     const std::size_t ok = total_samples();
@@ -148,6 +171,8 @@ class ResponseTimeCollector {
   std::size_t discarded_ = 0;
   std::uint64_t failures_ = 0;
   std::map<Key, std::uint64_t> pattern_failures_;
+  std::uint64_t rejections_ = 0;
+  std::map<Key, std::uint64_t> pattern_rejections_;
   std::function<void(double)> observer_;
 };
 

@@ -24,6 +24,27 @@ void LoadGenerator::start_group(const ClientGroupSpec& spec, sim::SimTime end_at
   }
 }
 
+void LoadGenerator::start_open_group(const ClientGroupSpec& spec, sim::SimTime end_at,
+                                     sim::RngStream rng) {
+  sim_.spawn(run_open_arrivals(spec, end_at, std::move(rng)));
+}
+
+void LoadGenerator::record_outcome(const ClientGroupSpec& spec, const PageRequest& req,
+                                   RequestOutcome outcome, sim::Duration response_time) {
+  ++requests_;
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      collector_.record(sim_.now(), req.page, req.pattern, spec.group, response_time);
+      break;
+    case RequestOutcome::kFailed:
+      collector_.record_failure(sim_.now(), req.page, req.pattern, spec.group);
+      break;
+    case RequestOutcome::kRejected:
+      collector_.record_rejection(sim_.now(), req.page, req.pattern, spec.group);
+      break;
+  }
+}
+
 sim::Task<void> LoadGenerator::run_client(ClientGroupSpec spec, bool is_browser,
                                           sim::SimTime end_at, sim::RngStream rng) {
   // Stagger client start uniformly across one think interval so the fleet
@@ -36,20 +57,47 @@ sim::Task<void> LoadGenerator::run_client(ClientGroupSpec spec, bool is_browser,
     while (auto req = script->next()) {
       if (sim_.now() >= end_at) co_return;
       const sim::SimTime start = sim_.now();
-      const bool ok = co_await executor_.execute(spec.client_node, *req);
+      const RequestOutcome out = co_await executor_.execute(spec.client_node, *req);
       const sim::Duration response_time = sim_.now() - start;
-      ++requests_;
-      if (ok) {
-        collector_.record(sim_.now(), req->page, req->pattern, spec.group, response_time);
-      } else {
-        collector_.record_failure(sim_.now(), req->page, req->pattern, spec.group);
-      }
+      record_outcome(spec, *req, out, response_time);
       // Soft delay (§3.3): DELAY - response_time, so DELAY is the interval
       // between *sending* successive requests.
       const sim::Duration remaining = cfg_.think_time - response_time;
       if (remaining > sim::Duration::zero()) co_await sim_.wait(remaining);
     }
     co_await sim_.wait(cfg_.between_sessions);
+  }
+}
+
+sim::Task<void> LoadGenerator::issue_one(ClientGroupSpec spec, PageRequest req) {
+  const sim::SimTime start = sim_.now();
+  const RequestOutcome out = co_await executor_.execute(spec.client_node, req);
+  record_outcome(spec, req, out, sim_.now() - start);
+}
+
+sim::Task<void> LoadGenerator::run_open_arrivals(ClientGroupSpec spec, sim::SimTime end_at,
+                                                 sim::RngStream rng) {
+  if (spec.requests_per_second <= 0.0) co_return;
+  const sim::Duration mean_gap = sim::Duration::seconds(1.0 / spec.requests_per_second);
+  // One rotating session per kind: each arrival draws its kind, then takes
+  // that kind's next page, starting a fresh session when the script ends.
+  std::unique_ptr<SessionScript> browser;
+  std::unique_ptr<SessionScript> writer;
+  while (true) {
+    co_await sim_.wait(rng.exponential(mean_gap));
+    if (sim_.now() >= end_at) co_return;
+    const bool is_browser = rng.bernoulli(spec.browser_fraction);
+    std::unique_ptr<SessionScript>& script = is_browser ? browser : writer;
+    std::optional<PageRequest> req = script ? script->next() : std::nullopt;
+    if (!req) {
+      script = is_browser ? spec.browser_factory() : spec.writer_factory();
+      ++sessions_;
+      req = script->next();
+      if (!req) continue;  // empty script: nothing to issue for this kind
+    }
+    // Open loop: fire and move on — do not await the response. Requests
+    // in flight at end_at simply never complete (and are never counted).
+    sim_.spawn(issue_one(spec, std::move(*req)));
   }
 }
 

@@ -13,16 +13,21 @@
 
 namespace mutsvc::workload {
 
+/// How one page request ended, as the client sees it.
+enum class RequestOutcome {
+  kOk,        // page served
+  kFailed,    // dropped after the harness exhausted its recovery options
+  kRejected,  // refused up front by admission control (overload shedding)
+};
+
 /// How a page request actually reaches the service; implemented by the
-/// experiment harness (HTTP + container runtime). Returns true when the
-/// request succeeded; false when it failed after the harness exhausted its
-/// recovery options (availability accounting). Implementations must not
+/// experiment harness (HTTP + container runtime). Implementations must not
 /// leak exceptions — an escaping exception kills the client task.
 class RequestExecutor {
  public:
   virtual ~RequestExecutor() = default;
-  [[nodiscard]] virtual sim::Task<bool> execute(net::NodeId client_node,
-                                                const PageRequest& request) = 0;
+  [[nodiscard]] virtual sim::Task<RequestOutcome> execute(net::NodeId client_node,
+                                                          const PageRequest& request) = 0;
 };
 
 /// One group of client machines co-located with an application server
@@ -62,12 +67,26 @@ class LoadGenerator {
   /// Spawns all client tasks for `spec`. Clients run until `end_at`.
   void start_group(const ClientGroupSpec& spec, sim::SimTime end_at, sim::RngStream rng);
 
+  /// Open-loop variant (the flash-crowd generator): Poisson arrivals at
+  /// `spec.requests_per_second`, each arrival issuing the next page of a
+  /// rotating per-kind session — WITHOUT waiting for the previous response.
+  /// A closed loop self-throttles when the service saturates, hiding the
+  /// overload; an open loop keeps offering load, which is exactly what a
+  /// flash crowd does. Offered rate is independent of response times by
+  /// construction.
+  void start_open_group(const ClientGroupSpec& spec, sim::SimTime end_at, sim::RngStream rng);
+
   [[nodiscard]] std::uint64_t requests_issued() const { return requests_; }
   [[nodiscard]] std::uint64_t sessions_started() const { return sessions_; }
 
  private:
   [[nodiscard]] sim::Task<void> run_client(ClientGroupSpec spec, bool is_browser,
                                            sim::SimTime end_at, sim::RngStream rng);
+  [[nodiscard]] sim::Task<void> run_open_arrivals(ClientGroupSpec spec, sim::SimTime end_at,
+                                                  sim::RngStream rng);
+  [[nodiscard]] sim::Task<void> issue_one(ClientGroupSpec spec, PageRequest req);
+  void record_outcome(const ClientGroupSpec& spec, const PageRequest& req,
+                      RequestOutcome outcome, sim::Duration response_time);
 
   sim::Simulator& sim_;
   RequestExecutor& executor_;

@@ -20,12 +20,12 @@ class FakeExecutor final : public RequestExecutor {
  public:
   FakeExecutor(Simulator& sim, Duration latency) : sim_(sim), latency_(latency) {}
 
-  [[nodiscard]] Task<bool> execute(net::NodeId, const PageRequest& req) override {
+  [[nodiscard]] Task<RequestOutcome> execute(net::NodeId, const PageRequest& req) override {
     ++requests_;
     pages_[req.page]++;
     patterns_[req.pattern]++;
     co_await sim_.wait(latency_);
-    co_return true;
+    co_return RequestOutcome::kOk;
   }
 
   std::uint64_t requests_ = 0;
