@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sim/simcheck.hpp"
+#include "sim/simrace.hpp"
 
 namespace mutsvc::comp {
 
@@ -25,6 +26,15 @@ sim::Task<void> CallContext::cpu(sim::Duration d) {
 namespace {
 std::string query_class(const db::Query& q) {
   return "query:" + (q.aggregate_name.empty() ? q.table : q.aggregate_name);
+}
+
+// SimRace state keys: one logical object per (node, cache). Only built
+// when the analyzer is enabled — probe sites gate on simrace::enabled().
+std::string ro_state_key(net::NodeId node, const std::string& entity) {
+  return "rocache:" + std::to_string(node.value()) + ":" + entity;
+}
+std::string qc_state_key(net::NodeId node) {
+  return "qcache:" + std::to_string(node.value());
 }
 }  // namespace
 
@@ -152,17 +162,17 @@ const std::string& Runtime::entity_table(const std::string& entity) const {
 
 cache::ReadOnlyCache& Runtime::ro_cache(net::NodeId node, const std::string& entity) {
   auto key = std::make_pair(node, entity);
-  auto it = ro_caches_.find(key);
-  if (it == ro_caches_.end()) {
-    it = ro_caches_.emplace(key, std::make_unique<cache::ReadOnlyCache>(entity)).first;
+  auto it = ro_caches_.find(key);  // simlint:allow(cross-node-state) — node-checked accessor: the single sanctioned door to per-node RO caches
+  if (it == ro_caches_.end()) {  // simlint:allow(cross-node-state) — node-checked accessor (lazy creation)
+    it = ro_caches_.emplace(key, std::make_unique<cache::ReadOnlyCache>(entity)).first;  // simlint:allow(cross-node-state) — node-checked accessor (lazy creation)
   }
   return *it->second;
 }
 
 cache::QueryCache& Runtime::query_cache(net::NodeId node) {
-  auto it = query_caches_.find(node);
-  if (it == query_caches_.end()) {
-    it = query_caches_.emplace(node, std::make_unique<cache::QueryCache>()).first;
+  auto it = query_caches_.find(node);  // simlint:allow(cross-node-state) — node-checked accessor: the single sanctioned door to per-node query caches
+  if (it == query_caches_.end()) {  // simlint:allow(cross-node-state) — node-checked accessor (lazy creation)
+    it = query_caches_.emplace(node, std::make_unique<cache::QueryCache>()).first;  // simlint:allow(cross-node-state) — node-checked accessor (lazy creation)
   }
   return *it->second;
 }
@@ -256,8 +266,8 @@ void Runtime::clear_node_caches(net::NodeId node) {
   for (auto& [key, cache] : ro_caches_) {
     if (key.first == node) cache->invalidate_all();
   }
-  auto qit = query_caches_.find(node);
-  if (qit != query_caches_.end()) qit->second->clear();
+  auto qit = query_caches_.find(node);  // simlint:allow(cross-node-state) — crash re-warm clears the restarted node's own replica, not another node's
+  if (qit != query_caches_.end()) qit->second->clear();  // simlint:allow(cross-node-state) — crash re-warm clears the restarted node's own replica, not another node's
   // The restarted container also lost its JNDI/remote-stub caches; the
   // StubCache is keyed per (node, component) but has no per-node erase, and
   // stub re-acquisition is cheap — clearing it all models the cold start.
@@ -271,8 +281,8 @@ bool Runtime::within_staleness_bound(const std::string& vkey, std::uint64_t vers
 }
 
 msg::Topic<Runtime::QueuedWrite>& Runtime::write_queue(net::NodeId edge) {
-  auto it = write_queues_.find(edge);
-  if (it == write_queues_.end()) {
+  auto it = write_queues_.find(edge);  // simlint:allow(cross-node-state) — node-checked accessor: the single sanctioned door to per-edge write queues
+  if (it == write_queues_.end()) {  // simlint:allow(cross-node-state) — node-checked accessor (lazy creation)
     // Provider co-located with the edge: accepting a queued write is a
     // local, durable operation; the provider then drains to the master
     // with the topic's at-least-once redelivery.
@@ -282,7 +292,7 @@ msg::Topic<Runtime::QueuedWrite>& Runtime::write_queue(net::NodeId edge) {
     topic->subscribe(plan_.main_server(),
                      [this](const QueuedWrite& w) { return apply_queued_write(w); });
     if (cfg_.flow.enabled) topic->set_bound(cfg_.flow.write_queue);
-    it = write_queues_.emplace(edge, std::move(topic)).first;
+    it = write_queues_.emplace(edge, std::move(topic)).first;  // simlint:allow(cross-node-state) — node-checked accessor (lazy creation)
   }
   return *it->second;
 }
@@ -308,8 +318,8 @@ sim::Task<void> Runtime::apply_queued_write(QueuedWrite w) {
 }
 
 db::JdbcClient& Runtime::jdbc_for(net::NodeId node) {
-  auto it = jdbc_clients_.find(node);
-  if (it == jdbc_clients_.end()) {
+  auto it = jdbc_clients_.find(node);  // simlint:allow(cross-node-state) — node-checked accessor: the single sanctioned door to per-node JDBC clients
+  if (it == jdbc_clients_.end()) {  // simlint:allow(cross-node-state) — node-checked accessor (lazy creation)
     it = jdbc_clients_
              .emplace(node, std::make_unique<db::JdbcClient>(net_, db_, node, cfg_.jdbc))
              .first;
@@ -428,6 +438,14 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
     cache::ReadOnlyCache& cache = ro_cache(node, entity);
     co_await topo_.node(node).cpu->consume(cfg_.cache_access);
     if (trace) trace->add(SpanKind::kCacheRead, cfg_.cache_access);
+    {
+      // SimRace: the replica lookup below is a synchronous section on the
+      // reading node; the scope must close before the refresh RMI suspends.
+      simrace::NodeScope race_scope(node.value());
+      if (simrace::enabled()) {
+        simrace::on_state_access(node.value(), ro_state_key(node, entity), /*is_write=*/false);
+      }
+    }
     // Degraded reads may need the raw entry even when the TTL has expired —
     // snapshot it before get_if_fresh erases a TTL-expired entry.
     const bool may_degrade =
@@ -491,6 +509,12 @@ sim::Task<std::optional<db::Row>> Runtime::read_entity_impl(net::NodeId node,
                                " failed with no usable replica entry");
     }
     if (fetched.has_value()) {
+      // SimRace: the refresh RMI completed above, so the fill is ordered
+      // after the server-side read by a message edge; no co_await follows.
+      simrace::NodeScope race_scope(node.value());
+      if (simrace::enabled()) {
+        simrace::on_state_access(node.value(), ro_state_key(node, entity), /*is_write=*/true);
+      }
       cache.fill(pk, *fetched, version, sim_.now());
       note_read(vkey, version);
     }
@@ -528,6 +552,13 @@ sim::Task<db::QueryResult> Runtime::cached_query_impl(net::NodeId node, db::Quer
     cache::QueryCache& qc = query_cache(node);
     co_await topo_.node(node).cpu->consume(cfg_.cache_access);
     if (trace) trace->add(SpanKind::kCacheRead, cfg_.cache_access);
+    {
+      // SimRace: synchronous query-cache lookup on the reading node.
+      simrace::NodeScope race_scope(node.value());
+      if (simrace::enabled()) {
+        simrace::on_state_access(node.value(), qc_state_key(node), /*is_write=*/false);
+      }
+    }
     if (auto entry = qc.get(key)) {
       note_read(key, entry->version);
       co_return db::QueryResult{entry->rows, 0};
@@ -537,6 +568,14 @@ sim::Task<db::QueryResult> Runtime::cached_query_impl(net::NodeId node, db::Quer
     // mid-flight would otherwise let stale rows masquerade as fresh).
     const std::uint64_t pre_version = consistency_.master_version(key);
     db::QueryResult res = co_await query_at_main(node, q, trace);
+    {
+      // SimRace: fill is ordered after the main-server read by the RMI's
+      // reply message; synchronous from here to co_return.
+      simrace::NodeScope race_scope(node.value());
+      if (simrace::enabled()) {
+        simrace::on_state_access(node.value(), qc_state_key(node), /*is_write=*/true);
+      }
+    }
     qc.fill(key, res.rows, pre_version);
     note_read(key, pre_version);
     co_return res;
@@ -698,6 +737,15 @@ sim::Task<void> Runtime::propagate(const std::vector<CallContext::PendingWrite>&
   // Pre-allocate one version per touched key. Allocation is monotone across
   // concurrent transactions, so two writers sharing a query key get
   // distinct versions and the replicas' monotonic apply keeps the newest.
+  // SimRace: version allocation mutates the master consistency tracker on
+  // the main server; synchronous up to the switch below.
+  {
+    simrace::NodeScope race_scope(plan_.main_server().value());
+    if (simrace::enabled()) {
+      simrace::on_state_access(plan_.main_server().value(), "consistency:master",
+                               /*is_write=*/true);
+    }
+  }
   std::map<std::string, std::uint64_t> versions;
   for (const auto& w : writes) {
     const std::string k = version_key(w.entity, w.pk);
@@ -744,6 +792,12 @@ sim::Task<void> Runtime::propagate(const std::vector<CallContext::PendingWrite>&
 cache::UpdateBatch Runtime::build_batch(const std::vector<CallContext::PendingWrite>& writes,
                                         const std::vector<db::Query>& affected,
                                         const std::map<std::string, std::uint64_t>& versions) {
+  // SimRace: batch assembly reads master DB rows next to the data. Plain
+  // function (no co_await), so the scope safely spans the whole body.
+  simrace::NodeScope race_scope(plan_.main_server().value());
+  if (simrace::enabled()) {
+    simrace::on_state_access(plan_.main_server().value(), "db:master", /*is_write=*/false);
+  }
   cache::UpdateBatch batch;
   for (const auto& w : writes) {
     // Last write wins for duplicate (entity, pk) pairs.
@@ -923,13 +977,23 @@ sim::Task<void> Runtime::publish_async(cache::UpdateBatch batch, TraceSink* trac
 
 sim::Task<void> Runtime::apply_batch(net::NodeId node, const cache::UpdateBatch& batch) {
   co_await topo_.node(node).cpu->consume(cfg_.apply_update);
+  // SimRace: the apply executes server-side at the replica node (inside the
+  // update RMI / topic handler, so it is message-ordered after the writer);
+  // everything below is synchronous, so one scope spans it.
+  simrace::NodeScope race_scope(node.value());
   for (const auto& e : batch.entities) {
     if (plan_.has_ro_replica(e.entity, node)) {
+      if (simrace::enabled()) {
+        simrace::on_state_access(node.value(), ro_state_key(node, e.entity), /*is_write=*/true);
+      }
       ro_cache(node, e.entity).apply_push(e.pk, e.row, e.version, sim_.now());
     }
   }
   if (plan_.has_query_cache(node)) {
     cache::QueryCache& qc = query_cache(node);
+    if (simrace::enabled() && !batch.queries.empty()) {
+      simrace::on_state_access(node.value(), qc_state_key(node), /*is_write=*/true);
+    }
     for (const auto& q : batch.queries) {
       if (q.invalidate_only) {
         qc.invalidate(q.cache_key);

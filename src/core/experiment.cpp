@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include "sim/simrace.hpp"
+
 namespace mutsvc::core {
 
 namespace {
@@ -52,6 +54,17 @@ Experiment::Experiment(const apps::AppDriver& driver, ExperimentSpec spec,
         [this](net::NodeId n) { runtime_->clear_node_caches(n); });
     net_.set_fault_injector(faults_.get());
     faults_->arm();
+  }
+  if (simrace::enabled()) {
+    // SimRace: hand the analyzer the lookahead-domain partition (LAN
+    // islands; WAN links are the parallelization boundaries) and the node
+    // names used in findings.
+    std::vector<std::string> names;
+    names.reserve(topo_.node_count());
+    for (std::uint32_t i = 0; i < topo_.node_count(); ++i) {
+      names.push_back(topo_.node(net::NodeId{i}).name);
+    }
+    simrace::configure(topo_.lookahead_domains(net_.wan_threshold()), std::move(names));
   }
 }
 

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include "net/faults.hpp"
+#include "sim/simrace.hpp"
 
 namespace mutsvc::net {
 
@@ -16,10 +17,20 @@ sim::Task<void> Network::deliver(NodeId from, NodeId to, Bytes size) {
   ++messages_;
   bytes_ += size;
 
+  // SimRace: every delivery is a happens-before edge from the sender's
+  // domain to the receiver's. The clock snapshot is taken at send time; a
+  // lost message destroys its token and creates no edge. Probes only read
+  // the clock — no events scheduled, no randomness drawn — so an analyzed
+  // run is bit-identical to a plain one.
+  const bool race_on = simrace::enabled();
+  simrace::MessageToken race_token;
+  if (race_on) race_token = simrace::on_send(from.value());
+
   bool crossed_wan = false;
   for (Link* link : route) {
     const bool is_wan = link->latency >= wan_threshold_;
     if (is_wan) crossed_wan = true;
+    const sim::SimTime hop_entered = sim_.now();
     // WAN shaping (flow control §3): hold the message at the link ingress
     // until its bytes conform to the configured rate. The shaper commits
     // state up front, so concurrent senders serialize deterministically;
@@ -46,7 +57,16 @@ sim::Task<void> Network::deliver(NodeId from, NodeId to, Bytes size) {
       throw DeliveryError("Network::deliver: message lost on link " +
                           topo_.node(link->from).name + "->" + topo_.node(link->to).name);
     }
+    // SimRace lookahead certificate: observed event-crossing time of this
+    // WAN hop, ingress (before shaping/serialization) to last byte out.
+    // Lost messages delivered nothing, so they are excluded above.
+    if (race_on && is_wan) {
+      simrace::on_link_crossing(link->from.value(), link->to.value(),
+                                link->latency.count_micros(),
+                                (sim_.now() - hop_entered).count_micros());
+    }
   }
+  if (race_on) simrace::on_delivered(race_token, to.value());
   if (crossed_wan) {
     ++wan_messages_;
     wan_bytes_ += size;

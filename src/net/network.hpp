@@ -62,9 +62,11 @@ class Network {
   }
 
   /// A link is "WAN" if its propagation latency passes this threshold;
-  /// used for accounting (tests assert WAN-crossing counts per page) and
-  /// for selecting which links the WAN rate limit applies to.
+  /// used for accounting (tests assert WAN-crossing counts per page), for
+  /// selecting which links the WAN rate limit applies to, and as the
+  /// lookahead-domain boundary for SimRace.
   void set_wan_threshold(sim::Duration d) { wan_threshold_ = d; }
+  [[nodiscard]] sim::Duration wan_threshold() const { return wan_threshold_; }
 
   /// Installs a per-directed-WAN-link byte shaper (flow control §3):
   /// messages entering a WAN link beyond `rate_bps` (burst allowance

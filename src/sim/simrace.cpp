@@ -1,0 +1,204 @@
+#include "sim/simrace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace mutsvc::simrace {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+  const char* v = std::getenv("MUTSVC_SIMRACE");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "yes") == 0;
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kMaxFindingMessages = 64;
+constexpr std::uint32_t kNoDomain = 0xffffffffu;
+
+/// Last-epoch state of one instrumented key. A full vector-clock-per-reader
+/// history is unnecessary for the zero-race bar this enforces: tracking the
+/// last write and the last access (FastTrack-style epochs) catches every
+/// unordered write-access pair against the most recent conflicting epoch.
+struct KeyState {
+  std::uint32_t write_domain = kNoDomain;
+  std::vector<std::uint64_t> write_clock;
+  std::uint32_t access_domain = kNoDomain;
+  std::vector<std::uint64_t> access_clock;
+};
+
+/// All analyzer state. One simulation is single-threaded (one event loop),
+/// and the sweep runner pins each trial to one worker thread, so a
+/// thread-local singleton needs no synchronization: concurrent trials get
+/// disjoint registries, and reset() at trial start makes the state
+/// trial-scoped regardless of which thread ran it.
+struct Registry {
+  Report report;
+
+  bool configured = false;
+  std::vector<std::uint32_t> domain_of;  // node id -> domain id
+  std::vector<std::string> names;        // node id -> name
+  std::size_t domains = 0;
+  std::vector<std::vector<std::uint64_t>> clocks;  // per-domain vector clock
+
+  std::uint32_t current = kNoNode;  // innermost NodeScope
+
+  std::map<std::string, KeyState, std::less<>> keys;
+
+  void add_finding(std::string msg) {
+    if (report.findings.size() < kMaxFindingMessages) report.findings.push_back(std::move(msg));
+  }
+
+  [[nodiscard]] std::string name_of(std::uint32_t node) const {
+    if (node < names.size() && !names[node].empty()) return names[node];
+    return "node-" + std::to_string(node);
+  }
+};
+
+Registry& reg() {
+  static thread_local Registry r;
+  return r;
+}
+
+/// Pointwise a >= b (b empty counts as dominated).
+bool dominates(const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+  if (b.size() > a.size()) return false;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void set_enabled(bool on) { detail::g_enabled = on; }
+
+void reset() { reg() = Registry{}; }
+
+const Report& report() { return reg().report; }
+
+void configure(std::vector<std::uint32_t> domain_of_node, std::vector<std::string> node_names) {
+  Registry& r = reg();
+  r.domain_of = std::move(domain_of_node);
+  r.names = std::move(node_names);
+  std::uint32_t max_domain = 0;
+  for (std::uint32_t d : r.domain_of) max_domain = std::max(max_domain, d);
+  r.domains = r.domain_of.empty() ? 0 : static_cast<std::size_t>(max_domain) + 1;
+  r.clocks.assign(r.domains, std::vector<std::uint64_t>(r.domains, 0));
+  r.configured = !r.domain_of.empty();
+}
+
+bool configured() { return reg().configured; }
+
+std::uint32_t domain_of(std::uint32_t node) {
+  const Registry& r = reg();
+  if (!r.configured || node >= r.domain_of.size()) return kNoNode;
+  return r.domain_of[node];
+}
+
+namespace detail {
+
+std::uint32_t swap_current(std::uint32_t node) {
+  Registry& r = reg();
+  const std::uint32_t prev = r.current;
+  r.current = node;
+  return prev;
+}
+
+void restore_current(std::uint32_t node) { reg().current = node; }
+
+}  // namespace detail
+
+std::uint32_t current_node() { return reg().current; }
+
+MessageToken on_send(std::uint32_t from) {
+  MessageToken t;
+  t.from = from;
+  Registry& r = reg();
+  if (!r.configured || from >= r.domain_of.size()) return t;
+  std::vector<std::uint64_t>& vc = r.clocks[r.domain_of[from]];
+  ++vc[r.domain_of[from]];
+  t.clock = vc;
+  return t;
+}
+
+void on_delivered(const MessageToken& token, std::uint32_t to) {
+  Registry& r = reg();
+  if (!r.configured || token.clock.empty() || to >= r.domain_of.size()) return;
+  std::vector<std::uint64_t>& vc = r.clocks[r.domain_of[to]];
+  for (std::size_t i = 0; i < vc.size() && i < token.clock.size(); ++i) {
+    vc[i] = std::max(vc[i], token.clock[i]);
+  }
+  ++vc[r.domain_of[to]];
+  ++r.report.message_edges;
+}
+
+void on_link_crossing(std::uint32_t from, std::uint32_t to, std::int64_t declared_us,
+                      std::int64_t observed_us) {
+  Registry& r = reg();
+  LinkStat& ls = r.report.wan_links[{from, to}];
+  ls.declared_us = declared_us;
+  if (ls.min_observed_us < 0 || observed_us < ls.min_observed_us) {
+    ls.min_observed_us = observed_us;
+  }
+  ++ls.crossings;
+  if (observed_us < declared_us) {
+    ++r.report.lookahead_violations;
+    r.add_finding("lookahead violation: " + r.name_of(from) + "->" + r.name_of(to) +
+                  " crossed in " + std::to_string(observed_us) + "us < declared " +
+                  std::to_string(declared_us) + "us");
+  }
+}
+
+void on_state_access(std::uint32_t owner_node, const std::string& key, bool is_write) {
+  Registry& r = reg();
+  if (!r.configured || r.current == kNoNode || r.current >= r.domain_of.size()) return;
+  const std::uint32_t acting = r.current;
+  const std::uint32_t ad = r.domain_of[acting];
+  const std::uint32_t od =
+      owner_node < r.domain_of.size() ? r.domain_of[owner_node] : kNoDomain;
+  ++r.report.scoped_accesses;
+  if (od != kNoDomain && od != ad) ++r.report.cross_domain_accesses;
+
+  std::vector<std::uint64_t>& vc = r.clocks[ad];
+  KeyState& ks = r.keys[key];
+
+  // An access must be ordered after the key's last write from another
+  // domain; a write must additionally be ordered after its last access.
+  // "Ordered" means the acting domain's clock dominates that epoch — i.e.
+  // a chain of delivered messages carried the knowledge here.
+  if (ks.write_domain != kNoDomain && ks.write_domain != ad &&
+      !dominates(vc, ks.write_clock)) {
+    ++r.report.races;
+    r.add_finding("race on '" + key + "': " + (is_write ? "write" : "read") + " at " +
+                  r.name_of(acting) + " (domain " + std::to_string(ad) +
+                  ") is not ordered after the last write from domain " +
+                  std::to_string(ks.write_domain) + " by any message edge");
+  } else if (is_write && ks.access_domain != kNoDomain && ks.access_domain != ad &&
+             !dominates(vc, ks.access_clock)) {
+    ++r.report.races;
+    r.add_finding("race on '" + key + "': write at " + r.name_of(acting) + " (domain " +
+                  std::to_string(ad) + ") is not ordered after the last access from domain " +
+                  std::to_string(ks.access_domain) + " by any message edge");
+  }
+
+  ++vc[ad];
+  if (is_write) {
+    ks.write_domain = ad;
+    ks.write_clock = vc;
+  }
+  ks.access_domain = ad;
+  ks.access_clock = vc;
+}
+
+}  // namespace mutsvc::simrace

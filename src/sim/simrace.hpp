@@ -1,0 +1,189 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mutsvc::simrace {
+
+/// SimRace: the compiled-in, off-by-default node-isolation analyzer — the
+/// dynamic half of the SimRace tooling (the static half lives in
+/// tools/simlint).
+///
+/// ROADMAP item 2 (intra-trial parallel simulation) rests on one claim: no
+/// event touches another node's state except through a Network::deliver
+/// edge whose link latency bounds the lookahead window. Enabled with
+/// MUTSVC_SIMRACE=1 (or set_enabled), SimRace checks that claim on real
+/// runs:
+///
+///  - nodes are partitioned into *lookahead domains*: the connected
+///    components of the sub-WAN-threshold link graph. LAN links give no
+///    usable lookahead, so a LAN island (main + its rdbms shards + its
+///    client machines) would share one event queue; only WAN links are
+///    parallelization boundaries (Topology::lookahead_domains);
+///  - instrumented synchronous sections declare the node they execute on
+///    via the NodeScope RAII (threaded through component/runtime,
+///    net/network, messaging/topic), and state probes record which node's
+///    object is touched;
+///  - every completed Network::deliver is a happens-before edge: the
+///    sender domain's vector clock is snapshotted at send and joined into
+///    the receiver domain's clock at arrival;
+///  - an access to state last written by a *different* domain that is not
+///    ordered after that write by a chain of message edges is exactly a
+///    pair that would race under per-node event queues — it is counted and
+///    reported;
+///  - per directed WAN link, the minimum observed event-crossing time
+///    (hop ingress to last byte out) is recorded; the conservative
+///    executor may only rely on lookahead >= the declared latency, so
+///    min observed < declared is a lookahead violation. tools/lookahead
+///    turns these stats into the JSON "lookahead certificate" gated in CI.
+///
+/// Every probe is a no-op (one relaxed bool load) when disabled, and an
+/// enabled run schedules no events and draws no randomness: instrumented
+/// runs are bit-identical to plain runs (enforced by test).
+///
+/// NodeScope is a thread_local and MUST only span synchronous sections —
+/// never a co_await — or interleaved coroutines would corrupt it. Probe
+/// sites in coroutines scope each synchronous block separately.
+
+/// Thrown by future hard-failing modes; today races are recorded, not
+/// thrown, so one run reports every unordered pair. Derives from
+/// logic_error so retry paths can never swallow it.
+class SimRaceError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Sentinel: "no node" (no scope active / unconfigured).
+inline constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+/// Per-directed-WAN-link crossing statistics for the lookahead certificate.
+struct LinkStat {
+  std::int64_t declared_us = 0;       // Link::latency
+  std::int64_t min_observed_us = -1;  // -1 until the first crossing
+  std::uint64_t crossings = 0;
+};
+
+/// Aggregate findings of one analyzed run (thread-local, trial-scoped
+/// under the sweep runner, like simcheck::Report).
+struct Report {
+  std::uint64_t scoped_accesses = 0;        // probes seen inside a NodeScope
+  std::uint64_t cross_domain_accesses = 0;  // acting domain != owner domain
+  std::uint64_t races = 0;                  // unordered cross-domain pairs
+  std::uint64_t message_edges = 0;          // completed deliveries
+  std::uint64_t lookahead_violations = 0;   // observed crossing < declared
+  /// Human-readable messages, bounded (the counters are exhaustive).
+  std::vector<std::string> findings;
+  /// Keyed by (from, to) node ids of each directed WAN link crossed.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkStat> wan_links;
+
+  [[nodiscard]] std::uint64_t total() const { return races + lookahead_violations; }
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;  // initialized from MUTSVC_SIMRACE at startup
+}
+
+/// True when the analyzer is active. Callers gate probe calls on this so
+/// the disabled path stays a single relaxed load (and builds no keys).
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Programmatic override of the MUTSVC_SIMRACE environment switch (tests).
+void set_enabled(bool on);
+
+/// Clears all tracked state, the domain map, and the report (call between
+/// independent runs; the sweep runner resets at every trial start).
+void reset();
+
+/// The calling thread's findings.
+[[nodiscard]] const Report& report();
+
+// --- topology wiring ---------------------------------------------------------
+
+/// Installs the node -> lookahead-domain map (index = node id) and the node
+/// names used in findings. Called by Experiment construction when enabled;
+/// until configured every probe is a no-op.
+void configure(std::vector<std::uint32_t> domain_of_node, std::vector<std::string> node_names);
+
+[[nodiscard]] bool configured();
+
+/// Domain of `node` (kNoNode when unconfigured / out of range).
+[[nodiscard]] std::uint32_t domain_of(std::uint32_t node);
+
+// --- node scopes -------------------------------------------------------------
+
+namespace detail {
+[[nodiscard]] std::uint32_t swap_current(std::uint32_t node);
+void restore_current(std::uint32_t node);
+}  // namespace detail
+
+/// The node whose synchronous section is executing (kNoNode outside any
+/// scope — harness/setup code stays unattributed and unflagged).
+[[nodiscard]] std::uint32_t current_node();
+
+/// RAII: declares that the enclosed *synchronous* section executes on
+/// `node`. The current node is a thread_local, so a scope must never span
+/// a co_await — interleaved coroutines would see each other's scopes.
+/// Inert (no TLS touch) when the analyzer is disabled at construction.
+class NodeScope {
+ public:
+  explicit NodeScope(std::uint32_t node) {
+    if (enabled()) {
+      prev_ = detail::swap_current(node);
+      active_ = true;
+    }
+  }
+  NodeScope(const NodeScope&) = delete;
+  NodeScope& operator=(const NodeScope&) = delete;
+  ~NodeScope() {
+    if (active_) detail::restore_current(prev_);
+  }
+
+ private:
+  std::uint32_t prev_ = kNoNode;
+  bool active_ = false;
+};
+
+// --- happens-before edges ----------------------------------------------------
+
+/// Snapshot of the sender domain's vector clock, carried by one in-flight
+/// message. A token that is destroyed without on_delivered (message lost)
+/// creates no happens-before edge — exactly the semantics of a drop.
+struct MessageToken {
+  std::uint32_t from = kNoNode;
+  std::vector<std::uint64_t> clock;
+};
+
+/// Called at Network::deliver entry (after route resolution): ticks the
+/// sender domain's clock and snapshots it.
+[[nodiscard]] MessageToken on_send(std::uint32_t from);
+
+/// Called when the last hop completes: joins the carried snapshot into the
+/// receiver domain's clock. This is the ONLY way one domain's knowledge
+/// reaches another — matching the parallel executor, where a message is
+/// the only cross-queue synchronization.
+void on_delivered(const MessageToken& token, std::uint32_t to);
+
+/// Called per completed WAN hop with the link's declared propagation
+/// latency and the observed ingress-to-delivery time (both µs). Observed <
+/// declared is a lookahead violation (counted + reported); the minimum per
+/// link feeds the lookahead certificate.
+void on_link_crossing(std::uint32_t from, std::uint32_t to, std::int64_t declared_us,
+                      std::int64_t observed_us);
+
+// --- state access probes -----------------------------------------------------
+
+/// Records that the current scope's node touches state owned by
+/// `owner_node` under `key` (e.g. "rocache:edge-1:item"). Outside any
+/// NodeScope the probe is a no-op (harness code). A cross-domain access
+/// not ordered (vector-clock dominance) after the key's last write — or a
+/// write not ordered after its last access — is a race.
+void on_state_access(std::uint32_t owner_node, const std::string& key, bool is_write);
+
+}  // namespace mutsvc::simrace

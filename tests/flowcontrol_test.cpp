@@ -133,6 +133,49 @@ TEST(QueueBoundTest, DerivedWatermarksKeepHysteresis) {
   EXPECT_EQ(off.high(), 0u);
 }
 
+TEST(QueueBoundTest, EqualExplicitWatermarksAreForcedApart) {
+  // high == low would make the hysteresis band empty (the gate would close
+  // and reopen at the same depth); low() caps the explicit value at
+  // high() - 1, so an equal pair degrades to the tightest valid band.
+  QueueBound b;
+  b.capacity = 8;
+  b.high_watermark = 4;
+  b.low_watermark = 4;
+  EXPECT_EQ(b.high(), 4u);
+  EXPECT_EQ(b.low(), 3u);
+  // Both watermarks pinned at capacity: the band still sits under the cap.
+  QueueBound full;
+  full.capacity = 8;
+  full.high_watermark = 8;
+  full.low_watermark = 8;
+  EXPECT_EQ(full.high(), 8u);
+  EXPECT_EQ(full.low(), 7u);
+  // Low configured above high: clamped strictly under high, not onto it.
+  QueueBound inverted;
+  inverted.capacity = 8;
+  inverted.high_watermark = 2;
+  inverted.low_watermark = 6;
+  EXPECT_EQ(inverted.high(), 2u);
+  EXPECT_EQ(inverted.low(), 1u);
+}
+
+TEST(QueueBoundTest, TinyCapacitiesKeepLowStrictlyUnderHigh) {
+  // capacity 2: derived 3/4 rounds down to 1, derived 1/4 rounds to 0.
+  QueueBound two;
+  two.capacity = 2;
+  EXPECT_EQ(two.high(), 1u);
+  EXPECT_EQ(two.low(), 0u);
+  // capacity 1 with both explicit watermarks pinned at 1 (== capacity ==
+  // high): the only valid band is [0, 1], and low() must land on 0.
+  QueueBound one;
+  one.capacity = 1;
+  one.high_watermark = 1;
+  one.low_watermark = 1;
+  EXPECT_EQ(one.high(), 1u);
+  EXPECT_EQ(one.low(), 0u);
+  EXPECT_LT(one.low(), one.high());
+}
+
 // --- CreditGate --------------------------------------------------------------
 
 TEST(CreditGateTest, OpenGateWaitsCompleteSynchronously) {
@@ -400,6 +443,49 @@ TEST(BoundedTopicTest, BackpressureClosesAtHighWatermarkAndReopensAtLow) {
   EXPECT_TRUE(topic.credit_open());
   ASSERT_EQ(sink.got.size(), 40u);
   for (int i = 0; i < 40; ++i) EXPECT_EQ(sink.got[i], i);
+}
+
+TEST(BoundedTopicTest, GateClosesAtHighAndReopensExactlyAtTheLowWatermark) {
+  // The boundary cases of the hysteresis comparisons: backlog == high must
+  // close the gate (not high + 1), and the drain reaching backlog == low
+  // must reopen it (not low - 1). A parked writer records the backlog
+  // depth at the moment it resumes.
+  TopicWorld w;
+  msg::Topic<int> topic{w.net, w.main, "updates", Duration::zero()};
+  SlowSink sink{w.sim, ms(10)};
+  topic.subscribe(w.main, sink.handler());
+  QueueBound b;
+  b.capacity = 8;
+  b.high_watermark = 5;
+  b.low_watermark = 2;
+  b.policy = OverflowPolicy::kDrop;
+  topic.set_bound(b, /*backpressure=*/true);
+
+  // Loopback publishes complete synchronously; the drain grabs the first
+  // message and parks in the slow handler, so after 5 publishes the
+  // backlog sits at exactly high - 1.
+  w.sim.spawn(publish_burst(topic, w.main, 5));
+  EXPECT_TRUE(topic.credit_open()) << "backlog high-1 must leave the gate open";
+  w.sim.spawn(publish_burst(topic, w.main, 1));
+  EXPECT_FALSE(topic.credit_open()) << "backlog exactly at high must close the gate";
+
+  std::size_t depth_at_resume = 999;
+  bool resumed = false;
+  w.sim.spawn([](msg::Topic<int>& t, std::size_t& depth, bool& flag) -> Task<void> {
+    co_await t.credit_wait();
+    depth = t.queue_depth() + t.spill_depth();
+    flag = true;
+  }(topic, depth_at_resume, resumed));
+  EXPECT_FALSE(resumed) << "the writer must park on the closed gate";
+  EXPECT_EQ(topic.credit_stalls(), 1u);
+
+  w.sim.run_until();
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(depth_at_resume, b.low()) << "the gate reopened before or after the low mark";
+  EXPECT_EQ(topic.shed(), 0u);
+  EXPECT_EQ(topic.delivered(), 6u);
+  EXPECT_TRUE(topic.quiescent());
+  EXPECT_TRUE(topic.credit_open());
 }
 
 // --- Bounded Coalescer lanes -------------------------------------------------

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "simlint/lint.hpp"
@@ -78,7 +79,7 @@ TEST(SimlintUnorderedIter, FlagsRangeForOverUnorderedMember) {
                              "  }\n"
                              "}\n");
   EXPECT_EQ(count_rule(f, "unordered-iter"), 1u);
-  EXPECT_EQ(f[0].line, 3);
+  EXPECT_EQ(line_of(f, "unordered-iter"), 3);
 }
 
 TEST(SimlintUnorderedIter, FlagsIteratorLoop) {
@@ -232,6 +233,153 @@ TEST(SimlintSimSharedAcrossThreads, SuppressibleWhereJustified) {
   EXPECT_EQ(count_rule(f, "sim-shared-across-threads"), 0u);
 }
 
+// --- raw string blanking -------------------------------------------------------
+
+TEST(SimlintRawString, BannedTokensInsideRawStringsAreBlanked) {
+  const auto f = lint_source("src/a.cpp",
+                             "const char* q = R\"(select rand() from system_clock)\";\n");
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(SimlintRawString, MultiLineRawStringIsBlanked) {
+  const auto f = lint_source("src/a.cpp",
+                             "const char* q = R\"sql(\n"
+                             "  std::mt19937 gen;  // not code\n"
+                             "  gettimeofday(now)\n"
+                             ")sql\";\n"
+                             "int x = rand();\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 1u);
+  EXPECT_EQ(line_of(f, "raw-random"), 5);
+  EXPECT_EQ(count_rule(f, "wall-clock"), 0u);
+}
+
+TEST(SimlintRawString, EncodingPrefixedRawStringsAreBlanked) {
+  // u8R"(...)" / LR"(...)" must enter the raw-string state; falling into
+  // the plain-string state mishandles the embedded quote and leaks the
+  // tail into scanned code.
+  const auto f = lint_source("src/a.cpp",
+                             "auto a = u8R\"(quote \" then rand())\";\n"
+                             "auto b = LR\"(backslash \\ then mt19937)\";\n"
+                             "auto c = uR\"(steady_clock)\";\n"
+                             "auto d = UR\"(random_device)\";\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 0u);
+  EXPECT_EQ(count_rule(f, "wall-clock"), 0u);
+}
+
+TEST(SimlintRawString, IdentifierEndingInRIsNotARawString) {
+  // `fooR"..."` is an identifier adjacent to a plain string, not a raw
+  // string: the contents must still be blanked as a plain string.
+  const auto f = lint_source("src/a.cpp", "auto s = fooR\"rand()\";\nint y = rand();\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 1u);
+  EXPECT_EQ(line_of(f, "raw-random"), 2);
+}
+
+// --- cross-node-state ----------------------------------------------------------
+
+TEST(SimlintCrossNodeState, FlagsDirectContainerAccessInComponentCode) {
+  const auto f = lint_source("src/component/runtime.cpp",
+                             "void f() {\n"
+                             "  auto it = ro_caches_.find(key);\n"
+                             "  jdbc_clients_[node]->query(q);\n"
+                             "  write_queues_->front();\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "cross-node-state"), 3u);
+}
+
+TEST(SimlintCrossNodeState, DeclarationsAndOtherDirsAreFine) {
+  // Declaring the member is fine; only subscripts / member calls reach in.
+  const auto decl = lint_source("src/component/runtime.hpp",
+                                "std::map<Key, CachePtr> ro_caches_;\n");
+  EXPECT_EQ(count_rule(decl, "cross-node-state"), 0u);
+  // Outside component/cache/db the rule does not apply.
+  const auto other = lint_source("src/core/experiment.cpp",
+                                 "auto it = ro_caches_.find(key);\n");
+  EXPECT_EQ(count_rule(other, "cross-node-state"), 0u);
+}
+
+TEST(SimlintCrossNodeState, WholeIdentifierMatchOnly) {
+  const auto f = lint_source("src/cache/rocache.cpp",
+                             "int caches_x = 0;\n"
+                             "caches_x.foo();\n");
+  EXPECT_EQ(count_rule(f, "cross-node-state"), 0u);
+}
+
+// --- ambient-node-capture ------------------------------------------------------
+
+TEST(SimlintAmbientNodeCapture, FlagsDefaultRefCaptureInDeferredWork) {
+  const auto f = lint_source("src/component/runtime.cpp",
+                             "void f(sim::Simulator& sim) {\n"
+                             "  sim.spawn(run([&] { touch(other_node); }));\n"
+                             "  sim.schedule_after(d, [&] { tick(); });\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "ambient-node-capture"), 2u);
+}
+
+TEST(SimlintAmbientNodeCapture, ExplicitCapturesAndTestsAreFine) {
+  const auto expl = lint_source("src/component/runtime.cpp",
+                                "sim.schedule_after(d, [this, node] { tick(node); });\n");
+  EXPECT_EQ(count_rule(expl, "ambient-node-capture"), 0u);
+  // Tests run a single simulation whose lambdas outlive the run.
+  const auto test = lint_source("tests/foo_test.cpp",
+                                "sim.schedule_after(ms(10), [&] { ++fired; });\n");
+  EXPECT_EQ(count_rule(test, "ambient-node-capture"), 0u);
+}
+
+TEST(SimlintAmbientNodeCapture, NonDeferredLambdasAreFine) {
+  const auto f = lint_source("src/core/report.cpp",
+                             "std::sort(v.begin(), v.end(), [&](int a, int b) { return a < b; });\n");
+  EXPECT_EQ(count_rule(f, "ambient-node-capture"), 0u);
+}
+
+// --- global-mutable ------------------------------------------------------------
+
+TEST(SimlintGlobalMutable, FlagsNamespaceScopeMutables) {
+  const auto f = lint_source("src/core/bad.cpp",
+                             "namespace mutsvc::core {\n"
+                             "int g_counter = 0;\n"
+                             "std::atomic<bool> g_flag{false};\n"
+                             "static double g_rate;\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "global-mutable"), 3u);
+}
+
+TEST(SimlintGlobalMutable, ConstAndFunctionsAndLocalsAreFine) {
+  const auto f = lint_source("src/core/fine.cpp",
+                             "namespace mutsvc::core {\n"
+                             "constexpr int kLimit = 8;\n"
+                             "const char* const kName = \"x\";\n"
+                             "int bump();\n"
+                             "int bump() {\n"
+                             "  static int local = 0;\n"
+                             "  return ++local;\n"
+                             "}\n"
+                             "struct S { int member = 0; };\n"
+                             "using Alias = int;\n"
+                             "}\n");
+  EXPECT_EQ(count_rule(f, "global-mutable"), 0u);
+}
+
+TEST(SimlintGlobalMutable, SimDirAndNonSrcAreExempt) {
+  const auto sim = lint_source("src/sim/simcheck.cpp",
+                               "namespace d {\nstd::atomic<bool> g_enabled{false};\n}\n");
+  EXPECT_EQ(count_rule(sim, "global-mutable"), 0u);
+  const auto test = lint_source("tests/foo_test.cpp", "int g_seen = 0;\n");
+  EXPECT_EQ(count_rule(test, "global-mutable"), 0u);
+}
+
+TEST(SimlintGlobalMutable, ReportsDeclarationLine) {
+  const auto f = lint_source("src/core/bad.cpp",
+                             "namespace a {\n"
+                             "namespace b {\n"
+                             "\n"
+                             "long g_total = 0;\n"
+                             "}\n"
+                             "}\n");
+  ASSERT_EQ(count_rule(f, "global-mutable"), 1u);
+  EXPECT_EQ(line_of(f, "global-mutable"), 4);
+  EXPECT_NE(f[0].message.find("g_total"), std::string::npos);
+}
+
 // --- suppressions --------------------------------------------------------------
 
 TEST(SimlintSuppression, SameLineAllow) {
@@ -263,19 +411,45 @@ TEST(SimlintSuppression, FileWideAllow) {
 
 // --- output formats ------------------------------------------------------------
 
-TEST(SimlintOutput, JsonReportIsMachineReadable) {
+TEST(SimlintOutput, JsonReportIsVersionedMachineReadable) {
   const auto f = lint_source("src/a.cpp", "int x = rand();\n");
   std::ostringstream os;
   simlint::print_json(os, f);
   const std::string out = os.str();
+  EXPECT_NE(out.find("\"schema\": \"simlint-v2\""), std::string::npos);
   EXPECT_NE(out.find("\"rule\": \"raw-random\""), std::string::npos);
   EXPECT_NE(out.find("\"line\": 1"), std::string::npos);
-  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.front(), '{');
+}
+
+TEST(SimlintOutput, EmptyJsonReportStillCarriesSchema) {
+  std::ostringstream os;
+  simlint::print_json(os, {});
+  EXPECT_NE(os.str().find("\"schema\": \"simlint-v2\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"findings\": []"), std::string::npos);
+}
+
+TEST(SimlintOutput, FixSuppressionsPrintsExactAllowLine) {
+  // Write a real file: the dry run re-reads the source to echo the line.
+  const std::string path = testing::TempDir() + "/simlint_fix_src.cpp";
+  {
+    std::ofstream out(path);
+    out << "int x = rand();\n";
+  }
+  // Two rules on one line must merge into a single allow comment.
+  std::vector<Finding> findings = {{path, 1, "raw-random", "m"}, {path, 1, "wall-clock", "m"}};
+  std::ostringstream os;
+  simlint::print_fix_suppressions(os, findings);
+  const std::string out = os.str();
+  EXPECT_NE(out.find(path + ":1:"), std::string::npos);
+  EXPECT_NE(out.find("- int x = rand();"), std::string::npos);
+  EXPECT_NE(out.find("+ int x = rand();  // simlint:allow(raw-random,wall-clock)"),
+            std::string::npos);
 }
 
 TEST(SimlintOutput, RuleListingIsComplete) {
   const auto& rules = simlint::rules();
-  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_EQ(rules.size(), 10u);
 }
 
 }  // namespace

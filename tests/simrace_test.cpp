@@ -1,0 +1,331 @@
+// SimRace node-isolation analyzer coverage: lookahead-domain partitioning,
+// the happens-before core (races flagged exactly when a cross-domain
+// access is not ordered by delivered messages), the lookahead link stats
+// behind the certificate, and the bit-identity guarantee — an analyzed
+// ladder run must follow the exact same trajectory as a plain one while
+// reporting zero races and no lookahead violations on the current tree.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/petstore/petstore.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "net/topology.hpp"
+#include "sim/simrace.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mutsvc {
+namespace {
+
+/// Enables the analyzer for one test and restores the disabled default.
+struct SimRaceScope {
+  SimRaceScope() {
+    simrace::reset();
+    simrace::set_enabled(true);
+  }
+  ~SimRaceScope() {
+    simrace::set_enabled(false);
+    simrace::reset();
+  }
+};
+
+// --- lookahead domain partitioning ---------------------------------------------
+
+TEST(SimRaceDomains, WanLinksSeparateLanIslands) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  auto a = topo.add_node("a", net::NodeRole::kAppServer);
+  auto b = topo.add_node("b", net::NodeRole::kDatabaseServer);
+  auto c = topo.add_node("c", net::NodeRole::kAppServer);
+  auto d = topo.add_node("d", net::NodeRole::kClientMachine);
+  topo.add_link(a, b, sim::us(500));  // LAN: same island
+  topo.add_link(b, c, sim::ms(40));   // WAN: boundary
+  topo.add_link(c, d, sim::ms(1));    // LAN: c and d share an island
+
+  const std::vector<std::uint32_t> dom = topo.lookahead_domains(sim::ms(10));
+  ASSERT_EQ(dom.size(), 4u);
+  EXPECT_EQ(dom[a.value()], dom[b.value()]);
+  EXPECT_EQ(dom[c.value()], dom[d.value()]);
+  EXPECT_NE(dom[a.value()], dom[c.value()]);
+  // Dense ids in node order: the island of the lowest node id is domain 0.
+  EXPECT_EQ(dom[a.value()], 0u);
+  EXPECT_EQ(dom[c.value()], 1u);
+}
+
+TEST(SimRaceDomains, AllLanIsOneDomainAndIsolatedNodesAreTheirOwn) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  auto a = topo.add_node("a", net::NodeRole::kAppServer);
+  auto b = topo.add_node("b", net::NodeRole::kAppServer);
+  auto c = topo.add_node("c", net::NodeRole::kAppServer);  // no links at all
+  topo.add_link(a, b, sim::us(100));
+
+  const std::vector<std::uint32_t> dom = topo.lookahead_domains(sim::ms(10));
+  EXPECT_EQ(dom[a.value()], dom[b.value()]);
+  EXPECT_NE(dom[c.value()], dom[a.value()]);
+}
+
+TEST(SimRaceDomains, DownedWanLinkIsStillABoundary) {
+  // Link up/down state is ignored: a flapping link does not change the
+  // parallelization partition.
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  auto a = topo.add_node("a", net::NodeRole::kAppServer);
+  auto b = topo.add_node("b", net::NodeRole::kAppServer);
+  topo.add_link(a, b, sim::ms(40));
+  topo.set_link_state(a, b, false);
+  const std::vector<std::uint32_t> dom = topo.lookahead_domains(sim::ms(10));
+  EXPECT_NE(dom[a.value()], dom[b.value()]);
+}
+
+// --- happens-before core -------------------------------------------------------
+
+// Two nodes, two domains: node 0 -> domain 0, node 1 -> domain 1.
+void configure_two_domains() {
+  simrace::configure({0, 1}, {"left", "right"});
+}
+
+TEST(SimRaceHB, CrossDomainAccessWithoutMessageEdgeIsARace) {
+  SimRaceScope guard;
+  configure_two_domains();
+  {
+    simrace::NodeScope s(0);
+    simrace::on_state_access(0, "cache:left", /*is_write=*/true);
+  }
+  {
+    simrace::NodeScope s(1);
+    simrace::on_state_access(0, "cache:left", /*is_write=*/false);  // nothing ordered this
+  }
+  EXPECT_EQ(simrace::report().races, 1u);
+  EXPECT_EQ(simrace::report().cross_domain_accesses, 1u);
+  ASSERT_FALSE(simrace::report().findings.empty());
+  EXPECT_NE(simrace::report().findings[0].find("cache:left"), std::string::npos);
+}
+
+TEST(SimRaceHB, DeliveredMessageOrdersTheAccess) {
+  SimRaceScope guard;
+  configure_two_domains();
+  {
+    simrace::NodeScope s(0);
+    simrace::on_state_access(0, "cache:left", /*is_write=*/true);
+  }
+  // The write's knowledge travels to domain 1 on a delivered message.
+  const simrace::MessageToken t = simrace::on_send(0);
+  simrace::on_delivered(t, 1);
+  {
+    simrace::NodeScope s(1);
+    simrace::on_state_access(0, "cache:left", /*is_write=*/false);
+  }
+  EXPECT_EQ(simrace::report().races, 0u);
+  EXPECT_EQ(simrace::report().message_edges, 1u);
+  EXPECT_EQ(simrace::report().cross_domain_accesses, 1u);
+}
+
+TEST(SimRaceHB, LostMessageCreatesNoEdge) {
+  SimRaceScope guard;
+  configure_two_domains();
+  {
+    simrace::NodeScope s(0);
+    simrace::on_state_access(0, "cache:left", /*is_write=*/true);
+  }
+  // Token taken at send time but never delivered (message lost): the
+  // receiver learns nothing, so the later read still races.
+  { const simrace::MessageToken dropped = simrace::on_send(0); (void)dropped; }
+  {
+    simrace::NodeScope s(1);
+    simrace::on_state_access(0, "cache:left", /*is_write=*/false);
+  }
+  EXPECT_EQ(simrace::report().races, 1u);
+  EXPECT_EQ(simrace::report().message_edges, 0u);
+}
+
+TEST(SimRaceHB, UnorderedWriteAfterRemoteReadIsARace) {
+  SimRaceScope guard;
+  configure_two_domains();
+  {
+    simrace::NodeScope s(1);
+    simrace::on_state_access(0, "cache:left", /*is_write=*/false);
+  }
+  {
+    simrace::NodeScope s(0);
+    simrace::on_state_access(0, "cache:left", /*is_write=*/true);  // write vs unordered read
+  }
+  EXPECT_EQ(simrace::report().races, 1u);
+}
+
+TEST(SimRaceHB, SameDomainAccessesNeverRace) {
+  SimRaceScope guard;
+  simrace::configure({0, 0}, {"a", "b"});  // one LAN island
+  {
+    simrace::NodeScope s(0);
+    simrace::on_state_access(0, "k", /*is_write=*/true);
+  }
+  {
+    simrace::NodeScope s(1);
+    simrace::on_state_access(0, "k", /*is_write=*/true);
+  }
+  EXPECT_EQ(simrace::report().races, 0u);
+  EXPECT_EQ(simrace::report().cross_domain_accesses, 0u);
+  EXPECT_EQ(simrace::report().scoped_accesses, 2u);
+}
+
+TEST(SimRaceHB, TransitiveMessageChainOrders) {
+  SimRaceScope guard;
+  simrace::configure({0, 1, 2}, {"a", "b", "c"});
+  {
+    simrace::NodeScope s(0);
+    simrace::on_state_access(0, "k", /*is_write=*/true);
+  }
+  // a -> b -> c: c's read of a's state is ordered through b.
+  simrace::on_delivered(simrace::on_send(0), 1);
+  simrace::on_delivered(simrace::on_send(1), 2);
+  {
+    simrace::NodeScope s(2);
+    simrace::on_state_access(0, "k", /*is_write=*/false);
+  }
+  EXPECT_EQ(simrace::report().races, 0u);
+  EXPECT_EQ(simrace::report().message_edges, 2u);
+}
+
+TEST(SimRaceHB, NodeScopesNestAndRestore) {
+  SimRaceScope guard;
+  configure_two_domains();
+  EXPECT_EQ(simrace::current_node(), simrace::kNoNode);
+  {
+    simrace::NodeScope outer(0);
+    EXPECT_EQ(simrace::current_node(), 0u);
+    {
+      simrace::NodeScope inner(1);
+      EXPECT_EQ(simrace::current_node(), 1u);
+    }
+    EXPECT_EQ(simrace::current_node(), 0u);
+  }
+  EXPECT_EQ(simrace::current_node(), simrace::kNoNode);
+}
+
+TEST(SimRaceHB, UnscopedAccessIsUnattributedAndIgnored) {
+  SimRaceScope guard;
+  configure_two_domains();
+  simrace::on_state_access(0, "k", /*is_write=*/true);  // harness code: no scope
+  EXPECT_EQ(simrace::report().scoped_accesses, 0u);
+  EXPECT_EQ(simrace::report().races, 0u);
+}
+
+// --- lookahead link stats ------------------------------------------------------
+
+TEST(SimRaceLookahead, TracksMinimumObservedCrossing) {
+  SimRaceScope guard;
+  configure_two_domains();
+  simrace::on_link_crossing(0, 1, 40000, 41000);
+  simrace::on_link_crossing(0, 1, 40000, 40050);
+  simrace::on_link_crossing(0, 1, 40000, 45000);
+  const auto& links = simrace::report().wan_links;
+  ASSERT_EQ(links.size(), 1u);
+  const simrace::LinkStat& ls = links.at({0, 1});
+  EXPECT_EQ(ls.declared_us, 40000);
+  EXPECT_EQ(ls.min_observed_us, 40050);
+  EXPECT_EQ(ls.crossings, 3u);
+  EXPECT_EQ(simrace::report().lookahead_violations, 0u);
+}
+
+TEST(SimRaceLookahead, ObservedBelowDeclaredIsAViolation) {
+  SimRaceScope guard;
+  configure_two_domains();
+  simrace::on_link_crossing(0, 1, 40000, 39999);
+  EXPECT_EQ(simrace::report().lookahead_violations, 1u);
+  ASSERT_FALSE(simrace::report().findings.empty());
+  EXPECT_NE(simrace::report().findings[0].find("lookahead violation"), std::string::npos);
+}
+
+// --- disabled analyzer is inert ------------------------------------------------
+
+TEST(SimRaceDisabled, ProbesAreNoOpsWhenOff) {
+  simrace::reset();
+  simrace::set_enabled(false);
+  EXPECT_FALSE(simrace::enabled());
+  configure_two_domains();
+  {
+    // NodeScope is inert when disabled, so the probe stays unattributed.
+    simrace::NodeScope s(0);
+    EXPECT_EQ(simrace::current_node(), simrace::kNoNode);
+    simrace::on_state_access(0, "k", /*is_write=*/true);
+  }
+  EXPECT_EQ(simrace::report().scoped_accesses, 0u);
+  EXPECT_EQ(simrace::report().total(), 0u);
+  simrace::reset();
+}
+
+// --- full seeded run under the analyzer ----------------------------------------
+
+struct RunStats {
+  std::uint64_t samples = 0;
+  std::uint64_t stale_reads = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t executed_events = 0;
+  std::uint64_t rmi_calls = 0;
+  double mean_ms = 0.0;
+
+  bool operator==(const RunStats&) const = default;
+};
+
+RunStats run_ladder_rung(core::ConfigLevel level, bool analyze, simrace::Report* out_report) {
+  simrace::reset();
+  simrace::set_enabled(analyze);
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.level = level;
+  spec.duration = sim::sec(120);
+  spec.warmup = sim::sec(10);
+  spec.seed = 7;
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  exp.run();
+
+  RunStats out;
+  out.samples = exp.results().total_samples();
+  out.stale_reads = exp.runtime().consistency().stale_reads();
+  out.reads = exp.runtime().consistency().reads();
+  out.executed_events = exp.simulator().executed_events();
+  out.rmi_calls = exp.rmi().calls();
+  out.mean_ms = exp.results().pattern_mean_ms("Browser", stats::ClientGroup::kRemote);
+  if (out_report != nullptr) *out_report = simrace::report();
+  simrace::set_enabled(false);
+  simrace::reset();
+  return out;
+}
+
+TEST(SimRaceEndToEnd, AnalyzedBlockingPushRunIsCleanAndBitIdentical) {
+  const RunStats plain =
+      run_ladder_rung(core::ConfigLevel::kStatefulComponentCaching, false, nullptr);
+  simrace::Report rep;
+  const RunStats analyzed =
+      run_ladder_rung(core::ConfigLevel::kStatefulComponentCaching, true, &rep);
+
+  // The analyzer observes; it must not perturb the trajectory.
+  EXPECT_EQ(plain, analyzed);
+  // The instrumentation actually saw the run...
+  EXPECT_GT(rep.scoped_accesses, 0u);
+  EXPECT_GT(rep.message_edges, 0u);
+  EXPECT_FALSE(rep.wan_links.empty());
+  // ...and the current tree is race-free with a sound lookahead window:
+  // every event that crossed a WAN link took at least the declared latency.
+  EXPECT_EQ(rep.races, 0u) << (rep.findings.empty() ? "" : rep.findings[0]);
+  EXPECT_EQ(rep.lookahead_violations, 0u);
+  for (const auto& [edge, stat] : rep.wan_links) {
+    EXPECT_GE(stat.min_observed_us, stat.declared_us);
+  }
+}
+
+TEST(SimRaceEndToEnd, AsyncUpdatesRungIsAlsoRaceFree) {
+  simrace::Report rep;
+  (void)run_ladder_rung(core::ConfigLevel::kAsyncUpdates, true, &rep);
+  EXPECT_GT(rep.scoped_accesses, 0u);
+  EXPECT_EQ(rep.races, 0u) << (rep.findings.empty() ? "" : rep.findings[0]);
+  EXPECT_EQ(rep.lookahead_violations, 0u);
+}
+
+}  // namespace
+}  // namespace mutsvc

@@ -1,0 +1,185 @@
+// lookahead: runs the §4 configuration ladder under the SimRace analyzer
+// and emits the machine-readable "lookahead certificate" consumed by CI.
+//
+// The certificate underwrites ROADMAP item 2 (conservative parallel
+// simulation): for every directed WAN link it records the minimum observed
+// event-crossing time across the whole ladder, which must never undercut
+// the link's declared propagation latency — the lookahead window a
+// parallel executor would rely on. It also asserts zero cross-node races:
+// no event touched another lookahead domain's state except through a
+// delivered message.
+//
+// The runs are fully seeded and deterministic, so the emitted JSON is
+// byte-stable: CI regenerates it and diffs against the checked-in
+// LOOKAHEAD_cert.json. Exit status is the gate — nonzero when any rung
+// reports a race, a lookahead violation, or a link whose minimum observed
+// crossing is below its declared latency.
+//
+// Usage: lookahead [--out FILE]
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/petstore/petstore.hpp"
+#include "core/calibration.hpp"
+#include "core/design_rules.hpp"
+#include "core/experiment.hpp"
+#include "sim/simrace.hpp"
+#include "sim/time.hpp"
+
+namespace mutsvc {
+namespace {
+
+// Fixed, seed-pinned spec: the certificate must be reproducible bit for
+// bit on every machine (same discipline as the golden tests).
+constexpr std::uint64_t kSeed = 7;
+constexpr int kDurationSec = 120;
+constexpr int kWarmupSec = 10;
+
+struct Rung {
+  core::ConfigLevel level;
+  const char* slug;
+};
+
+constexpr Rung kLadder[] = {
+    {core::ConfigLevel::kCentralized, "centralized"},
+    {core::ConfigLevel::kRemoteFacade, "remote-facade"},
+    {core::ConfigLevel::kStatefulComponentCaching, "stateful-component-caching"},
+    {core::ConfigLevel::kQueryCaching, "query-caching"},
+    {core::ConfigLevel::kAsyncUpdates, "async-updates"},
+};
+
+struct RungResult {
+  const Rung* rung = nullptr;
+  simrace::Report report;
+  std::vector<std::string> node_names;  // node id -> name, for the JSON
+
+  [[nodiscard]] bool clean() const {
+    if (report.races > 0 || report.lookahead_violations > 0) return false;
+    for (const auto& [edge, stat] : report.wan_links) {
+      if (stat.crossings > 0 && stat.min_observed_us < stat.declared_us) return false;
+    }
+    return true;
+  }
+};
+
+RungResult run_rung(const Rung& rung) {
+  simrace::reset();
+  simrace::set_enabled(true);
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.level = rung.level;
+  spec.duration = sim::sec(kDurationSec);
+  spec.warmup = sim::sec(kWarmupSec);
+  spec.seed = kSeed;
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  exp.run();
+
+  RungResult out;
+  out.rung = &rung;
+  out.report = simrace::report();
+  net::Topology& topo = exp.network().topology();
+  out.node_names.reserve(topo.node_count());
+  for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
+    out.node_names.push_back(topo.node(net::NodeId{i}).name);
+  }
+  simrace::set_enabled(false);
+  simrace::reset();
+  return out;
+}
+
+void emit_json(std::ostream& os, const std::vector<RungResult>& results, bool certified) {
+  os << "{\n";
+  os << "  \"schema\": \"mutsvc-lookahead-v1\",\n";
+  os << "  \"app\": \"petstore\",\n";
+  os << "  \"seed\": " << kSeed << ",\n";
+  os << "  \"duration_s\": " << kDurationSec << ",\n";
+  os << "  \"warmup_s\": " << kWarmupSec << ",\n";
+  os << "  \"rungs\": [\n";
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    const RungResult& res = results[r];
+    const simrace::Report& rep = res.report;
+    os << "    {\n";
+    os << "      \"level\": " << static_cast<int>(res.rung->level) << ",\n";
+    os << "      \"name\": \"" << res.rung->slug << "\",\n";
+    os << "      \"scoped_accesses\": " << rep.scoped_accesses << ",\n";
+    os << "      \"cross_domain_accesses\": " << rep.cross_domain_accesses << ",\n";
+    os << "      \"message_edges\": " << rep.message_edges << ",\n";
+    os << "      \"races\": " << rep.races << ",\n";
+    os << "      \"lookahead_violations\": " << rep.lookahead_violations << ",\n";
+    os << "      \"wan_links\": [\n";
+    std::size_t i = 0;
+    for (const auto& [edge, stat] : rep.wan_links) {
+      auto name = [&](std::uint32_t n) -> std::string {
+        return n < res.node_names.size() ? res.node_names[n] : "node-" + std::to_string(n);
+      };
+      os << "        {\"from\": \"" << name(edge.first) << "\", \"to\": \"" << name(edge.second)
+         << "\", \"declared_us\": " << stat.declared_us
+         << ", \"min_observed_us\": " << stat.min_observed_us
+         << ", \"crossings\": " << stat.crossings << "}"
+         << (++i < rep.wan_links.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (r + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"certified\": " << (certified ? "true" : "false") << "\n";
+  os << "}\n";
+}
+
+int run_main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: lookahead [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  std::vector<RungResult> results;
+  bool certified = true;
+  for (const Rung& rung : kLadder) {
+    std::cerr << "lookahead: running rung " << static_cast<int>(rung.level) << " (" << rung.slug
+              << ")...\n";
+    results.push_back(run_rung(rung));
+    const RungResult& res = results.back();
+    if (!res.clean()) {
+      certified = false;
+      for (const std::string& f : res.report.findings) {
+        std::cerr << "lookahead: [" << rung.slug << "] " << f << "\n";
+      }
+    }
+  }
+
+  std::ostringstream json;
+  emit_json(json, results, certified);
+  if (out_path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream f(out_path, std::ios::trunc);
+    if (!f) {
+      std::cerr << "lookahead: cannot open " << out_path << "\n";
+      return 2;
+    }
+    f << json.str();
+  }
+
+  if (!certified) {
+    std::cerr << "lookahead: FAILED — races or lookahead violations recorded\n";
+    return 1;
+  }
+  std::cerr << "lookahead: certified — zero races, every WAN link's min observed crossing >= "
+               "declared latency\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mutsvc
+
+int main(int argc, char** argv) { return mutsvc::run_main(argc, argv); }

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <initializer_list>
+#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -19,6 +20,21 @@ bool ident_char(char c) {
 }
 
 bool qual_char(char c) { return ident_char(c) || c == ':'; }
+
+/// True when the quote at src[i] opens a raw string literal: `R"..."` with
+/// an optional encoding prefix (u8R, uR, UR, LR). The character before the
+/// whole prefix must not extend an identifier (`fooR"..."` is a plain
+/// string preceded by an identifier, not a raw string).
+bool raw_string_open(const std::string& src, std::size_t i) {
+  if (i == 0 || src[i - 1] != 'R') return false;
+  std::size_t p = i - 1;  // index of 'R'
+  if (p >= 2 && src[p - 2] == 'u' && src[p - 1] == '8') {
+    p -= 2;
+  } else if (p >= 1 && (src[p - 1] == 'u' || src[p - 1] == 'U' || src[p - 1] == 'L')) {
+    p -= 1;
+  }
+  return p == 0 || !ident_char(src[p - 1]);
+}
 
 std::string trim(const std::string& s) {
   std::size_t b = s.find_first_not_of(" \t");
@@ -60,8 +76,11 @@ void split_and_blank(const std::string& src, std::vector<std::string>& raw,
           st = St::kBlockComment;
           cline.push_back(' ');
         } else if (c == '"') {
-          // R"delim( ... )delim" — only when R directly precedes the quote.
-          if (i > 0 && src[i - 1] == 'R' && (i < 2 || !ident_char(src[i - 2]))) {
+          // R"delim( ... )delim", with optional encoding prefix (u8R"...",
+          // LR"...", ...). Misclassifying a raw string as a plain string
+          // mishandles embedded quotes/backslashes and leaks its contents
+          // into the scanned code — a latent false-positive source.
+          if (raw_string_open(src, i)) {
             std::size_t p = i + 1;
             std::string delim;
             while (p < src.size() && src[p] != '(' && src[p] != '\n') delim.push_back(src[p++]);
@@ -514,6 +533,196 @@ void rule_sim_shared_across_threads(const FileCtx& ctx, std::vector<Finding>& ou
   }
 }
 
+// --- rule: cross-node-state --------------------------------------------------
+
+/// Per-node replica state (read-only caches, query caches, JDBC clients,
+/// store-and-forward write queues) lives in node-keyed containers. Under
+/// per-node event queues (ROADMAP item 2) reaching into one of those
+/// containers directly is how an event on node A silently touches node B's
+/// state without a Network/Topic edge bounding the lookahead window. The
+/// sanctioned doors are the node-checked accessors; any direct subscript /
+/// member call on a node-keyed container in component/cache/db code is
+/// flagged and must carry an explicit allow.
+void rule_cross_node_state(const FileCtx& ctx, std::vector<Finding>& out) {
+  if (!ctx.path_contains("component/") && !ctx.path_contains("cache/") &&
+      !ctx.path_contains("db/")) {
+    return;
+  }
+  static const char* kSuffixes[] = {"caches_", "clients_", "queues_"};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    for (const char* sfx : kSuffixes) {
+      std::size_t pos = 0;
+      bool hit = false;
+      while (!hit && (pos = line.find(sfx, pos)) != std::string::npos) {
+        std::size_t end = pos + std::string(sfx).size();
+        // Whole-identifier tail: `ro_caches_` matches "caches_", `caches_x`
+        // does not.
+        if (end < line.size() && !ident_char(line[end])) {
+          std::size_t p = end;
+          while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+          const bool member = p < line.size() && (line[p] == '[' || line[p] == '.' ||
+                                                  (line[p] == '-' && p + 1 < line.size() &&
+                                                   line[p + 1] == '>'));
+          if (member) {
+            std::size_t begin = pos;
+            while (begin > 0 && ident_char(line[begin - 1])) --begin;
+            add_finding(out, ctx, static_cast<int>(i + 1), "cross-node-state",
+                        "direct access to node-keyed state container '" +
+                            line.substr(begin, end - begin) +
+                            "' — go through the node-checked accessor or a "
+                            "net::Network / msg::Topic edge");
+            hit = true;
+          }
+        }
+        pos = end;
+      }
+    }
+  }
+}
+
+// --- rule: ambient-node-capture ----------------------------------------------
+
+/// Deferred work (spawned coroutines, scheduled callbacks, topic
+/// subscriptions) that default-captures by reference smuggles ambient
+/// pointers into events that may run on another node's timeline — exactly
+/// the captures that dangle or race once trials execute under per-node
+/// event queues. Product code must capture the owning objects explicitly;
+/// tests (single simulation, lambda outlives the run) are exempt.
+void rule_ambient_node_capture(const FileCtx& ctx, std::vector<Finding>& out) {
+  if (!ctx.path_contains("src/")) return;
+  static const char* kDeferred[] = {"spawn", "schedule_after", "schedule_at", "subscribe"};
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    if (line.find("[&]") == std::string::npos && line.find("[&,") == std::string::npos) {
+      continue;
+    }
+    for (const char* call : kDeferred) {
+      if (has_token(line, call, true)) {
+        add_finding(out, ctx, static_cast<int>(i + 1), "ambient-node-capture",
+                    std::string("deferred work via '") + call +
+                        "' default-captures by reference ([&]) — name the captured "
+                        "objects so node ownership stays visible");
+        break;
+      }
+    }
+  }
+}
+
+// --- rule: global-mutable ----------------------------------------------------
+
+/// Namespace-scope mutable state in src/ outside sim/ is shared across
+/// every trial in a process (and across sweep worker threads): it breaks
+/// trial isolation and is invisible to the per-node ownership model. The
+/// scanner walks the blanked source with a brace-kind stack so only
+/// declarations at namespace scope are considered; const/constexpr,
+/// functions, types and aliases are skipped.
+void rule_global_mutable(const FileCtx& ctx, std::vector<Finding>& out) {
+  if (!ctx.path_contains("src/") || ctx.path_contains("sim/")) return;
+
+  // Statement-level skip tokens: declarations these introduce are either
+  // immutable, types, or not variable definitions at all.
+  static const char* kSkip[] = {"const",     "constexpr", "constinit", "consteval",
+                                "using",     "typedef",   "extern",    "friend",
+                                "template",  "operator",  "namespace", "class",
+                                "struct",    "enum",      "union",     "static_assert",
+                                "concept",   "requires"};
+
+  std::vector<char> scopes;  // 'n' = namespace, 'b' = type/function/block
+  int init_depth = 0;        // inside a brace initializer of the current statement
+  std::string stmt;
+  int stmt_line = 0;
+
+  auto at_namespace_scope = [&] {
+    for (char s : scopes) {
+      if (s != 'n') return false;
+    }
+    return true;
+  };
+  auto last_nonspace = [](const std::string& s) -> char {
+    for (std::size_t p = s.size(); p > 0; --p) {
+      if (s[p - 1] != ' ' && s[p - 1] != '\t') return s[p - 1];
+    }
+    return '\0';
+  };
+  auto analyze = [&](const std::string& statement, int line) {
+    const std::string t = trim(statement);
+    if (t.empty()) return;
+    // Head of the declaration: everything before the initializer.
+    std::size_t cut = t.find_first_of("={");
+    const std::string head = trim(cut == std::string::npos ? t : t.substr(0, cut));
+    if (head.empty() || head.find('(') != std::string::npos) return;  // function decl
+    for (const char* w : kSkip) {
+      if (has_token(head, w, false)) return;
+    }
+    // A variable definition needs a type and a name: at least two
+    // identifier tokens in the head.
+    int idents = 0;
+    bool in_ident = false;
+    for (char c : head) {
+      if (ident_char(c)) {
+        if (!in_ident) ++idents;
+        in_ident = true;
+      } else {
+        in_ident = false;
+      }
+    }
+    if (idents < 2) return;
+    // The declared name: last identifier in the head.
+    std::size_t e = head.size();
+    while (e > 0 && !ident_char(head[e - 1])) --e;
+    std::size_t b = e;
+    while (b > 0 && ident_char(head[b - 1])) --b;
+    add_finding(out, ctx, line, "global-mutable",
+                "namespace-scope mutable state '" + head.substr(b, e - b) +
+                    "' — shared across trials and sweep workers; move it into the "
+                    "Simulator/Experiment or make it constexpr");
+  };
+
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    // Preprocessor lines never open statements and never end with ';'.
+    const std::string lt = trim(line);
+    if (!lt.empty() && lt[0] == '#') continue;
+    for (char c : line) {
+      if (init_depth > 0) {
+        if (c == '{') ++init_depth;
+        if (c == '}') --init_depth;
+        stmt.push_back(c);
+        continue;
+      }
+      if (c == '{') {
+        const char prev = last_nonspace(stmt);
+        if (has_token(stmt, "namespace", false)) {
+          scopes.push_back('n');
+          stmt.clear();
+        } else if (at_namespace_scope() && (ident_char(prev) || prev == '>') &&
+                   stmt.find('(') == std::string::npos &&
+                   !has_token(stmt, "class", false) && !has_token(stmt, "struct", false) &&
+                   !has_token(stmt, "enum", false) && !has_token(stmt, "union", false)) {
+          // Brace initializer of a namespace-scope declaration
+          // (`std::atomic<bool> g{...};`): part of the statement.
+          ++init_depth;
+          stmt.push_back(c);
+        } else {
+          scopes.push_back('b');
+          stmt.clear();
+        }
+      } else if (c == '}') {
+        if (!scopes.empty()) scopes.pop_back();
+        stmt.clear();
+      } else if (c == ';') {
+        if (at_namespace_scope()) analyze(stmt, stmt_line);
+        stmt.clear();
+      } else {
+        if (stmt.empty() || trim(stmt).empty()) stmt_line = static_cast<int>(i + 1);
+        stmt.push_back(c);
+      }
+    }
+    if (!stmt.empty()) stmt.push_back(' ');  // line break inside a statement
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -525,6 +734,9 @@ const std::vector<RuleInfo>& rules() {
       {"lock-balance", "acquire() with no release() anywhere in the file"},
       {"nodiscard-task", "Task-returning declaration missing [[nodiscard]]"},
       {"sim-shared-across-threads", "OS threads in a file that names sim::Simulator"},
+      {"cross-node-state", "direct access to a node-keyed state container"},
+      {"ambient-node-capture", "deferred work default-capturing by reference"},
+      {"global-mutable", "namespace-scope mutable state in src/ outside sim/"},
   };
   return kRules;
 }
@@ -543,6 +755,9 @@ std::vector<Finding> lint_source(const std::string& path, const std::string& sou
   rule_lock_balance(ctx, out);
   rule_nodiscard_task(ctx, out);
   rule_sim_shared_across_threads(ctx, out);
+  rule_cross_node_state(ctx, out);
+  rule_ambient_node_capture(ctx, out);
+  rule_global_mutable(ctx, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
@@ -621,7 +836,9 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 void print_json(std::ostream& os, const std::vector<Finding>& findings) {
-  os << "[";
+  // Versioned envelope (simlint-v2): CI diffs stay stable across simlint
+  // upgrades — consumers key on "schema" instead of sniffing the shape.
+  os << "{\n\"schema\": \"simlint-v2\",\n\"findings\": [";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     if (i != 0) os << ",";
@@ -629,7 +846,44 @@ void print_json(std::ostream& os, const std::vector<Finding>& findings) {
        << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
        << json_escape(f.message) << "\"}";
   }
-  os << (findings.empty() ? "]" : "\n]") << "\n";
+  os << (findings.empty() ? "]" : "\n]") << "\n}\n";
+}
+
+void print_fix_suppressions(std::ostream& os, const std::vector<Finding>& findings) {
+  // Group rules per (file, line): one merged allow comment per source line.
+  std::map<std::pair<std::string, int>, std::set<std::string>> by_line;
+  for (const Finding& f : findings) {
+    if (f.line <= 0) continue;  // io-error pseudo-findings have no line
+    by_line[{f.file, f.line}].insert(f.rule);
+  }
+  std::string cached_file;
+  std::vector<std::string> cached_lines;
+  for (const auto& [key, rules_at] : by_line) {
+    const auto& [file, line] = key;
+    if (file != cached_file) {
+      cached_file = file;
+      cached_lines.clear();
+      std::ifstream in(file, std::ios::binary);
+      std::string l;
+      while (std::getline(in, l)) cached_lines.push_back(l);
+    }
+    std::string allow = "simlint:allow(";
+    bool first = true;
+    for (const std::string& r : rules_at) {
+      if (!first) allow += ",";
+      allow += r;
+      first = false;
+    }
+    allow += ")";
+    os << file << ":" << line << ":\n";
+    if (line <= static_cast<int>(cached_lines.size())) {
+      const std::string& src = cached_lines[line - 1];
+      os << "  - " << src << "\n";
+      os << "  + " << src << "  // " << allow << " — <why>\n";
+    } else {
+      os << "  + // " << allow << " — <why>\n";
+    }
+  }
 }
 
 }  // namespace simlint

@@ -44,6 +44,22 @@ struct RuleInfo {
 ///                  sim::Simulator — the kernel is single-threaded; the only
 ///                  sanctioned crossing is core/sweep.cpp, which gives each
 ///                  worker thread a whole trial (its own Simulator).
+///  cross-node-state
+///                  direct subscript / member call on a node-keyed state
+///                  container (identifiers ending caches_/clients_/queues_)
+///                  in component/cache/db code — reaching another node's
+///                  object must go through the node-checked accessors or a
+///                  net::Network / msg::Topic edge, or per-node event
+///                  queues (ROADMAP item 2) would race on it.
+///  ambient-node-capture
+///                  deferred work (spawn / schedule_at / schedule_after /
+///                  subscribe) whose lambda default-captures by reference
+///                  ([&]) in src/ — ambient references smuggled into events
+///                  that may run on another node's timeline.
+///  global-mutable  namespace-scope mutable state in src/ outside sim/ —
+///                  shared across trials and sweep worker threads, breaking
+///                  trial isolation (const/constexpr/types/functions are
+///                  skipped; scoping uses a brace-kind stack).
 ///
 /// Suppressions: `// simlint:allow(rule1,rule2)` on the finding's line or
 /// the line directly above suppresses those rules there;
@@ -65,7 +81,14 @@ struct RuleInfo {
 /// "file:line: [rule] message" per finding.
 void print_text(std::ostream& os, const std::vector<Finding>& findings);
 
-/// Machine-readable report: a JSON array of {file, line, rule, message}.
+/// Machine-readable report (schema "simlint-v2"): an object
+/// {"schema": "simlint-v2", "findings": [{file, line, rule, message}, ...]}.
 void print_json(std::ostream& os, const std::vector<Finding>& findings);
+
+/// Dry-run suppression helper: for each finding prints the source line (read
+/// from disk) and the same line with the exact trailing
+/// `// simlint:allow(rule, ...)` comment to paste, merging rules that hit
+/// the same line. Nothing is modified.
+void print_fix_suppressions(std::ostream& os, const std::vector<Finding>& findings);
 
 }  // namespace simlint

@@ -1,10 +1,12 @@
 // simlint — determinism and coroutine-hazard lint for the mutsvc tree.
 //
 // Usage: simlint [options] <file-or-dir>...
-//   --json             print findings as a JSON array (machine-readable)
-//   --report <file>    also write the JSON report to <file>
-//   --list-rules       print the rule set and exit
-//   --quiet            suppress the findings listing (exit code only)
+//   --json               print findings as simlint-v2 JSON (machine-readable)
+//   --report <file>      also write the JSON report to <file>
+//   --fix-suppressions   dry run: print each finding's line with the exact
+//                        trailing `// simlint:allow(...)` comment to paste
+//   --list-rules         print the rule set and exit
+//   --quiet              suppress the findings listing (exit code only)
 //
 // Exit status: 0 when clean, 1 when findings remain, 2 on usage error.
 
@@ -19,6 +21,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   bool json = false;
   bool quiet = false;
+  bool fix_suppressions = false;
   std::string report_file;
 
   for (int i = 1; i < argc; ++i) {
@@ -27,6 +30,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--fix-suppressions") {
+      fix_suppressions = true;
     } else if (arg == "--report") {
       if (i + 1 >= argc) {
         std::cerr << "simlint: --report needs a file argument\n";
@@ -39,8 +44,8 @@ int main(int argc, char** argv) {
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: simlint [--json] [--quiet] [--report <file>] [--list-rules] "
-                   "<file-or-dir>...\n";
+      std::cout << "usage: simlint [--json] [--quiet] [--fix-suppressions] "
+                   "[--report <file>] [--list-rules] <file-or-dir>...\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "simlint: unknown option " << arg << "\n";
@@ -55,7 +60,9 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<simlint::Finding> findings = simlint::lint_paths(paths);
-  if (!quiet) {
+  if (fix_suppressions) {
+    simlint::print_fix_suppressions(std::cout, findings);
+  } else if (!quiet) {
     if (json) {
       simlint::print_json(std::cout, findings);
     } else {
