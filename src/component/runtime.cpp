@@ -141,15 +141,37 @@ Runtime::Runtime(sim::Simulator& sim, net::Topology& topo, net::Network& net,
       if (coalescer_) coalescer_->set_bound(cfg_.flow.coalescer_lane);
     }
   }
+  // Freeze the lazily-populated per-node maps before traffic flows: under
+  // parallel lookahead domains (sim/parallel.cpp) workers read these maps
+  // concurrently, so structural mutation is confined to construction. The
+  // accessors then only ever find pre-created entries. Sequential behaviour
+  // is unchanged — creation itself costs no simulated time.
+  profiles_.resize(std::max<std::size_t>(sim_.domain_count(), 1));
+  const std::vector<std::string> component_names = app_.component_names();
+  for (std::uint32_t n = 0; n < topo_.node_count(); ++n) {
+    (void)jdbc_for(net::NodeId{n});
+    for (const std::string& comp : component_names) stubs_.prepare(net::NodeId{n}, comp);
+  }
+  for (net::NodeId n : plan_.query_cache_nodes()) (void)query_cache(n);
+  for (const auto& [entity, nodes] : plan_.ro_replicas()) {
+    for (net::NodeId n : nodes) (void)ro_cache(n, entity);
+  }
 }
 
 void Runtime::note_read(const std::string& key, std::uint64_t seen_version) {
-  consistency_.observe_read(key, seen_version);
-  if (simcheck::enabled()) {
-    const bool invariant_applies = plan_.update_mode() == UpdateMode::kBlockingPush &&
-                                   failed_pushes_ == 0 && degraded_reads_ == 0;
-    simcheck::probe_zero_staleness(consistency_.stale_reads(), invariant_applies);
-  }
+  // Staged against the observed-read shadow tracker: sequentially the
+  // closure runs inline right here; under parallel domains it replays at
+  // the window barrier in deterministic (time, key) stamp order, so the
+  // staleness stats (and the SimCheck probe) see exactly the sequential
+  // interleaving of reads and master advances.
+  sim_.sequenced([this, key, seen_version] {
+    observed_.observe_read(key, seen_version);
+    if (simcheck::enabled()) {
+      const bool invariant_applies = plan_.update_mode() == UpdateMode::kBlockingPush &&
+                                     failed_pushes_ == 0 && degraded_reads_ == 0;
+      simcheck::probe_zero_staleness(observed_.stale_reads(), invariant_applies);
+    }
+  });
 }
 
 const std::string& Runtime::entity_table(const std::string& entity) const {
@@ -255,10 +277,10 @@ void Runtime::sample_metrics(sim::SimTime now, sim::Duration window) {
   // Replica staleness vs. the plan's TACT bound: the observed mean version
   // lag should stay at 0 under blocking push and within the bound under
   // async updates.
-  m.set_counter("consistency.stale_reads", consistency_.stale_reads());
-  m.set_gauge("consistency.stale_fraction", consistency_.stale_fraction());
+  m.set_counter("consistency.stale_reads", observed_.stale_reads());
+  m.set_gauge("consistency.stale_fraction", observed_.stale_fraction());
   m.set_gauge("consistency.staleness_bound", static_cast<double>(plan_.staleness_bound()));
-  m.series("consistency.mean_version_lag", window).add(now, consistency_.mean_version_lag());
+  m.series("consistency.mean_version_lag", window).add(now, observed_.mean_version_lag());
 }
 
 void Runtime::clear_node_caches(net::NodeId node) {
@@ -563,11 +585,13 @@ sim::Task<db::QueryResult> Runtime::cached_query_impl(net::NodeId node, db::Quer
       note_read(key, entry->version);
       co_return db::QueryResult{entry->rows, 0};
     }
-    // Capture the version BEFORE executing the query: the fill must never
-    // claim a version newer than the data it installs (a write committing
-    // mid-flight would otherwise let stale rows masquerade as fresh).
-    const std::uint64_t pre_version = consistency_.master_version(key);
-    db::QueryResult res = co_await query_at_main(node, q, trace);
+    // The fill's version is captured by query_at_main at the primary,
+    // immediately before the query executes: the fill must never claim a
+    // version newer than the data it installs (a write committing
+    // mid-flight would otherwise let stale rows masquerade as fresh), and
+    // the live version state may only be read on the primary's side.
+    std::uint64_t pre_version = 0;
+    db::QueryResult res = co_await query_at_main(node, q, trace, &pre_version);
     {
       // SimRace: fill is ordered after the main-server read by the RMI's
       // reply message; synchronous from here to co_return.
@@ -584,10 +608,12 @@ sim::Task<db::QueryResult> Runtime::cached_query_impl(net::NodeId node, db::Quer
 }
 
 sim::Task<db::QueryResult> Runtime::query_at_main(net::NodeId from, db::Query q,
-                                                  TraceSink* trace) {
+                                                  TraceSink* trace,
+                                                  std::uint64_t* pre_version) {
   const net::NodeId primary = plan_.main_server();
   if (from == primary) {
     const sim::SimTime j0 = sim_.now();
+    if (pre_version != nullptr) *pre_version = consistency_.master_version(q.cache_key());
     db::QueryResult res = co_await jdbc_for(primary).execute(std::move(q));
     if (trace) trace->add(SpanKind::kJdbc, sim_.now() - j0);
     co_return res;
@@ -599,6 +625,7 @@ sim::Task<db::QueryResult> Runtime::query_at_main(net::NodeId from, db::Query q,
       [&]() -> sim::Task<net::Bytes> {
         const sim::SimTime w0 = sim_.now();
         co_await topo_.node(primary).cpu->consume(cfg_.local_dispatch);
+        if (pre_version != nullptr) *pre_version = consistency_.master_version(q.cache_key());
         res = co_await jdbc_for(primary).execute(q);
         if (trace) {
           const sim::SimTime w1 = sim_.now();
@@ -757,6 +784,12 @@ sim::Task<void> Runtime::propagate(const std::vector<CallContext::PendingWrite>&
   }
   auto advance_all = [&] {
     for (const auto& [k, v] : versions) consistency_.advance_to(k, v);
+    // Mirror the advance into the observed-read shadow as a sequenced
+    // effect, so its replayed observe_reads compare against the same master
+    // trajectory a sequential run would have seen at each read's timestamp.
+    sim_.sequenced([this, versions] {
+      for (const auto& [k, v] : versions) observed_.advance_to(k, v);
+    });
   };
 
   bool entity_replicated = false;

@@ -211,7 +211,13 @@ class Runtime {
   [[nodiscard]] net::Topology& topology() { return topo_; }
   [[nodiscard]] net::RmiTransport& rmi() { return rmi_; }
   [[nodiscard]] db::Database& database() { return db_; }
-  [[nodiscard]] cache::ConsistencyTracker& consistency() { return consistency_; }
+  /// Read-staleness accounting (reads/stale_reads/version lag). This is the
+  /// *observed* tracker: it receives every observe_read and advance_to as a
+  /// sequenced effect, so under parallel lookahead domains the stats are
+  /// replayed in deterministic timestamp order at window barriers and match
+  /// a sequential run exactly. The live master-version tracker backing
+  /// allocate/advance/master_version stays private (main-domain state).
+  [[nodiscard]] cache::ConsistencyTracker& consistency() { return observed_; }
   [[nodiscard]] LockManager& locks() { return locks_; }
   [[nodiscard]] StubCache& stubs() { return stubs_; }
 
@@ -266,8 +272,24 @@ class Runtime {
   };
   using InteractionProfile = std::map<std::pair<std::string, std::string>, InteractionStat>;
 
-  [[nodiscard]] const InteractionProfile& interaction_profile() const { return profile_; }
-  void reset_interaction_profile() { profile_.clear(); }
+  /// Merged view over the per-domain profile slabs (map-ordered, so the
+  /// merge is deterministic regardless of how domains interleaved).
+  [[nodiscard]] const InteractionProfile& interaction_profile() const {
+    merged_profile_.clear();
+    for (const auto& slab : profiles_) {
+      for (const auto& [key, s] : slab) {
+        auto& m = merged_profile_[key];
+        m.calls += s.calls;
+        m.writes += s.writes;
+        m.bytes += s.bytes;
+      }
+    }
+    return merged_profile_;
+  }
+  void reset_interaction_profile() {
+    for (auto& slab : profiles_) slab.clear();
+    merged_profile_.clear();
+  }
 
   [[nodiscard]] std::uint64_t blocking_pushes() const { return blocking_pushes_; }
   [[nodiscard]] std::uint64_t failed_pushes() const { return failed_pushes_; }
@@ -393,7 +415,10 @@ class Runtime {
 
   void record_interaction(const std::string& caller, const std::string& callee, net::Bytes bytes,
                           bool is_write = false) {
-    auto& stat = profile_[{caller, callee}];
+    // One slab per lookahead domain: each domain's worker only touches its
+    // own map. .at() catches the misuse of enabling domains after
+    // construction (the slabs are sized from sim_.domain_count() then).
+    auto& stat = profiles_.at(sim_.current_domain())[{caller, callee}];
     ++stat.calls;
     if (is_write) ++stat.writes;
     stat.bytes += bytes;
@@ -412,8 +437,14 @@ class Runtime {
                                                              TraceSink* trace);
 
   /// Executes a query at the main server (locally or via one façade RMI).
+  /// When `pre_version` is non-null, the master version of the query's
+  /// cache key is captured *at the primary*, immediately before the query
+  /// executes — the latest instant that still cannot claim a version newer
+  /// than the data read (and, under parallel domains, the only side of the
+  /// call where the live version state may be read).
   [[nodiscard]] sim::Task<db::QueryResult> query_at_main(net::NodeId from, db::Query q,
-                                                         TraceSink* trace);
+                                                         TraceSink* trace,
+                                                         std::uint64_t* pre_version = nullptr);
 
   /// Applies one write. When `ctx` is non-null the write joins the calling
   /// method's transaction (deferred propagation); a null ctx commits it as
@@ -487,7 +518,12 @@ class Runtime {
 
   LockManager locks_;
   StubCache stubs_;
+  /// Live master-version state (allocate / advance_to / master_version).
+  /// Only ever touched from the main server's lookahead domain.
   cache::ConsistencyTracker consistency_;
+  /// Observed-read shadow: fed observe_read + advance_to through
+  /// sim_.sequenced(), replayed in stamp order — see consistency().
+  cache::ConsistencyTracker observed_;
   std::map<std::string, std::string> entity_tables_;
   std::map<std::pair<net::NodeId, std::string>, std::unique_ptr<cache::ReadOnlyCache>> ro_caches_;
   std::map<net::NodeId, std::unique_ptr<cache::QueryCache>> query_caches_;
@@ -497,9 +533,17 @@ class Runtime {
   std::vector<std::unique_ptr<msg::Topic<cache::UpdateBatch>>> topics_;
   std::unique_ptr<msg::Coalescer<cache::UpdateBatch>> coalescer_;
   std::map<net::NodeId, std::unique_ptr<msg::Topic<QueuedWrite>>> write_queues_;
-  InteractionProfile profile_;
+  /// Interaction-profile slabs, one per lookahead domain (index 0 when
+  /// domains are off); merged on demand into merged_profile_.
+  std::vector<InteractionProfile> profiles_;
+  mutable InteractionProfile merged_profile_;
   std::map<net::NodeId, stats::MetricsRegistry> metrics_;
 
+  // Domain discipline for the plain counters below: the push/publish ones
+  // are only written from the main server's domain; the degradation ones
+  // only move under resilience/fault configs, which the experiment refuses
+  // to combine with parallel domains. Reads from staged closures happen at
+  // window barriers, ordered after all worker writes by the pool's barrier.
   std::uint64_t blocking_pushes_ = 0;
   std::uint64_t failed_pushes_ = 0;
   std::uint64_t async_publishes_ = 0;

@@ -1,5 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "core/sweep.hpp"
+#include "sim/simcheck.hpp"
 #include "sim/simrace.hpp"
 
 namespace mutsvc::core {
@@ -19,6 +26,18 @@ comp::RuntimeConfig runtime_config_for(const HarnessCalibration& cal,
   cfg.coalesce_quantum = spec.shard.coalesce_quantum;
   cfg.flow = spec.flow;
   return cfg;
+}
+
+/// MUTSVC_PAR_DOMAINS: worker count for the windowed parallel executor.
+/// Host configuration, not simulation state; anything unparsable means 0
+/// (the classic sequential loop).
+int env_par_domains() {
+  const char* env = std::getenv("MUTSVC_PAR_DOMAINS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return 0;
+  return static_cast<int>(v);
 }
 }  // namespace
 
@@ -42,9 +61,23 @@ Experiment::Experiment(const apps::AppDriver& driver, ExperimentSpec spec,
   comp::DeploymentPlan plan = spec_.custom_plan
                                   ? spec_.custom_plan(nodes_)
                                   : build_plan(*driver_.app, *driver_.meta, nodes_, spec_.level);
+  // Before the Runtime exists: domain tagging (and the windowed mode) must
+  // see an empty event heap, and the Runtime's construction-time spawns
+  // (update coalescer) land in the tagged main domain.
+  setup_parallel_domains(plan);
   runtime_ = std::make_unique<comp::Runtime>(sim_, topo_, net_, rmi_, *db_, *driver_.app,
                                              std::move(plan), runtime_config_for(cal_, spec_));
   driver_.bind_entities(*runtime_);
+  // Freeze the lazily-created per-server thread pools before traffic flows:
+  // entry handlers on different islands would otherwise race to create map
+  // entries. Creation costs no simulated time, so sequential runs are
+  // unchanged.
+  (void)thread_pool(nodes_.main_server);
+  for (net::NodeId s : runtime_->plan().edge_servers()) (void)thread_pool(s);
+  (void)thread_pool(runtime_->plan().entry_point(nodes_.local_clients));
+  for (net::NodeId c : nodes_.remote_clients) {
+    (void)thread_pool(runtime_->plan().entry_point(c));
+  }
   if (spec_.flow.enabled && spec_.flow.wan_rate_bps > 0.0) {
     net_.set_wan_rate_limit(spec_.flow.wan_rate_bps, spec_.flow.wan_burst_bytes);
   }
@@ -66,6 +99,117 @@ Experiment::Experiment(const apps::AppDriver& driver, ExperimentSpec spec,
     }
     simrace::configure(topo_.lookahead_domains(net_.wan_threshold()), std::move(names));
   }
+}
+
+void Experiment::setup_parallel_domains(const comp::DeploymentPlan& plan) {
+  const sim::Duration threshold = net_.wan_threshold();
+  std::vector<std::uint32_t> groups = topo_.lookahead_domains(threshold);
+
+  if (plan.update_mode() == comp::UpdateMode::kAsyncPush) {
+    // Asynchronous updates couple the publisher with every subscriber: the
+    // topics' drain tasks touch provider-side queue state from the
+    // subscriber's side of a delivery, so all coupled islands must execute
+    // as one domain. Merging only removes cross-domain links, so the
+    // certified window stays conservative. (Blocking push needs no merge —
+    // each push is an ordinary RMI whose server work runs at the edge.)
+    const std::uint32_t main_group = groups[plan.main_server().value()];
+    std::vector<char> to_main(groups.size(), 0);  // indexed by group id (< node count)
+    to_main[main_group] = 1;
+    for (const auto& [entity, replica_nodes] : plan.ro_replicas()) {
+      for (net::NodeId n : replica_nodes) to_main[groups[n.value()]] = 1;
+    }
+    for (net::NodeId n : plan.query_cache_nodes()) to_main[groups[n.value()]] = 1;
+    for (std::uint32_t& g : groups) {
+      if (to_main[g] != 0) g = main_group;
+    }
+  }
+
+  // Renumber dense in node order (node 0's island is always domain 0).
+  std::vector<std::uint32_t> remap(groups.size(), UINT32_MAX);
+  std::uint32_t domain_count = 0;
+  node_domains_.resize(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (remap[groups[i]] == UINT32_MAX) remap[groups[i]] = domain_count++;
+    node_domains_[i] = static_cast<sim::Simulator::DomainId>(remap[groups[i]]);
+  }
+  if (domain_count > 256) {
+    throw std::invalid_argument("Experiment: more than 256 lookahead domains");
+  }
+
+  const int requested =
+      spec_.parallel_domains >= 0 ? spec_.parallel_domains : env_par_domains();
+  par_workers_ = requested > 0 ? static_cast<std::size_t>(requested) : 0;
+  if (par_workers_ > 0) {
+    // Features whose state crosses domains outside the windowed protocol
+    // cannot parallelize. An explicit spec request fails loudly; an
+    // env-derived one quietly falls back to the sequential tagged loop
+    // (MUTSVC_PAR_DOMAINS is a fleet-wide knob — e.g. a CI matrix row
+    // running every test — and the sequential loop is bit-identical, so
+    // the fallback only costs the speedup).
+    const char* blocked = nullptr;
+    if (!spec_.fault_plan.empty()) {
+      blocked = "fault injection (shared fault RNG streams and cross-domain link flaps)";
+    } else if (spec_.resilience.enabled) {
+      blocked = "the resilience policy (per-callee breakers are shared across caller domains)";
+    } else if (spec_.flow.enabled && spec_.flow.admission_rate > 0.0) {
+      blocked = "admission control (entry buckets are created on first use)";
+    } else if (cal_.http.keep_alive) {
+      blocked = "HTTP keep-alive (connection reuse state spans client domains)";
+    }
+    if (blocked != nullptr) {
+      if (spec_.parallel_domains >= 1) {
+        throw std::invalid_argument(
+            std::string("Experiment: MUTSVC_PAR_DOMAINS is incompatible with ") + blocked +
+            "; run this configuration with parallel_domains = 0");
+      }
+      par_workers_ = 0;
+    }
+  }
+  if (par_workers_ > 0) {
+    // The window width is the certified lookahead: the narrowest link that
+    // crosses a domain in the final (merged) partition. By construction of
+    // lookahead_domains() every crossing link carries at least the WAN
+    // threshold of latency; re-verify that here against the topology as
+    // built, so a mis-calibrated threshold or a hand-edited link fails
+    // loudly at startup instead of corrupting a run (satellite of
+    // LOOKAHEAD_cert.json: declared wan_threshold <= min observed crossing
+    // latency).
+    sim::Duration window = threshold;
+    bool has_crossing = false;
+    for (const net::Link* l : topo_.all_links()) {
+      if (node_domains_[l->from.value()] == node_domains_[l->to.value()]) continue;
+      if (l->latency < threshold) {
+        throw std::invalid_argument(
+            "Experiment: lookahead certificate violated: link " + topo_.node(l->from).name +
+            " -> " + topo_.node(l->to).name + " crosses a lookahead domain with latency " +
+            std::to_string(l->latency.as_millis()) + " ms < the declared WAN threshold " +
+            std::to_string(threshold.as_millis()) +
+            " ms (see LOOKAHEAD_cert.json). Lower the WAN threshold or keep the link "
+            "inside one island.");
+      }
+      window = has_crossing ? std::min(window, l->latency) : l->latency;
+      has_crossing = true;
+    }
+    // Instrumented runs serialize: SimCheck/SimRace keep thread-local
+    // registries, and a trial already on an across-trial sweep worker must
+    // not spawn a nested pool. The clamp never changes results — windowed
+    // output is worker-count invariant by construction.
+    if (simcheck::enabled() || simrace::enabled() || sweep::inside_worker()) {
+      par_workers_ = 1;
+    }
+    sim_.enable_windowed(domain_count, window);
+  } else {
+    // Tagging is on even for sequential runs, so the (time, owner, seq)
+    // event order — and therefore every result bit — is shared by the
+    // sequential loop and the windowed executor at any worker count.
+    sim_.enable_domains(domain_count);
+  }
+  net_.set_domains(node_domains_);
+  // Per-caller-node RMI streams: a node's stream is drawn only while that
+  // node's events execute, i.e. from its own domain. Forks are pure
+  // functions of (root seed, name), so sequential and parallel runs see
+  // identical streams.
+  rmi_.partition_streams(topo_.node_count());
 }
 
 sim::FifoResource& Experiment::thread_pool(net::NodeId server) {
@@ -95,11 +239,11 @@ sim::Task<workload::RequestOutcome> Experiment::execute(net::NodeId client_node,
                .first;
     }
     if (!it->second.try_acquire(sim_.now())) {
-      ++rejected_admission_;
+      rejected_admission_.fetch_add(1, std::memory_order_relaxed);
       co_return workload::RequestOutcome::kRejected;
     }
   }
-  ++admitted_;
+  admitted_.fetch_add(1, std::memory_order_relaxed);
   const int max_page_retries = spec_.resilience.enabled ? spec_.resilience.http_retries : 0;
   for (int attempt = 0;;) {
     enum class Outcome { kOk, kUnreachable, kFailed };
@@ -118,14 +262,14 @@ sim::Task<workload::RequestOutcome> Experiment::execute(net::NodeId client_node,
       // after a connect timeout.
       co_await sim_.wait(spec_.failover_timeout);
       if (!spec_.failover_enabled || server == nodes_.main_server) {
-        ++dropped_;
+        dropped_.fetch_add(1, std::memory_order_relaxed);
         co_return workload::RequestOutcome::kFailed;
       }
       // §1: "client requests can utilize several entry points into the
       // service" — fall back to the main server. Switching entry points does
       // not consume the retry budget, so transient faults on the fallback
       // path still get the policy's whole-page retries.
-      ++failovers_;
+      failovers_.fetch_add(1, std::memory_order_relaxed);
       server = nodes_.main_server;
       continue;
     }
@@ -133,7 +277,7 @@ sim::Task<workload::RequestOutcome> Experiment::execute(net::NodeId client_node,
     // Transient failure: the browser retries the whole page (when the
     // resilience policy allows) after a short pause.
     if (attempt >= max_page_retries) {
-      ++dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       co_return workload::RequestOutcome::kFailed;
     }
     ++attempt;
@@ -183,6 +327,12 @@ sim::Task<void> Experiment::execute_traced(net::NodeId client_node,
 }
 
 void Experiment::enable_metrics(sim::Duration window) {
+  if (par_workers_ > 0) {
+    throw std::invalid_argument(
+        "Experiment: enable_metrics is incompatible with MUTSVC_PAR_DOMAINS (the "
+        "sampler reads every node's gauges from one domain and the transports "
+        "mirror counters into shared registries); run with parallel_domains = 0");
+  }
   metrics_window_ = window;
   runtime_->enable_transport_metrics();
   stats::Histogram& h = runtime_->metrics(nodes_.main_server).histogram("response_ms");
@@ -230,8 +380,16 @@ void Experiment::run() {
     }
   };
 
-  start_group(nodes_.local_clients, stats::ClientGroup::kLocal, "local");
+  // Each client group is spawned under its own island's domain, so the
+  // whole client lifecycle (think-time timers included) executes where the
+  // clients live — sequentially this only relabels event owners, identically
+  // for the classic loop and the windowed executor.
+  {
+    sim::Simulator::DomainScope in_domain(sim_, domain_of(nodes_.local_clients));
+    start_group(nodes_.local_clients, stats::ClientGroup::kLocal, "local");
+  }
   for (std::size_t i = 0; i < nodes_.remote_clients.size(); ++i) {
+    sim::Simulator::DomainScope in_domain(sim_, domain_of(nodes_.remote_clients[i]));
     start_group(nodes_.remote_clients[i], stats::ClientGroup::kRemote,
                 "remote-" + std::to_string(i));
   }
@@ -241,13 +399,20 @@ void Experiment::run() {
   }
 
   // Utilization accounting starts after warm-up, like the measurements.
-  sim_.schedule_at(sim::SimTime::origin() + spec_.warmup, [this] {
-    for (std::uint32_t i = 0; i < topo_.node_count(); ++i) {
+  // One reset event per node, in the node's own domain — a node's CPU
+  // counters are only ever touched from its island.
+  for (std::uint32_t i = 0; i < topo_.node_count(); ++i) {
+    sim::Simulator::DomainScope in_domain(sim_, node_domains_[i]);
+    sim_.schedule_at(sim::SimTime::origin() + spec_.warmup, [this, i] {
       topo_.node(net::NodeId{i}).cpu->reset_utilization();
-    }
-  });
+    });
+  }
 
-  sim_.run_until(end);
+  if (par_workers_ > 0) {
+    sim_.run_windows_until(end, par_workers_);
+  } else {
+    sim_.run_until(end);
+  }
 }
 
 }  // namespace mutsvc::core

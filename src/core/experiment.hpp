@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "apps/common/driver.hpp"
 #include "component/runtime.hpp"
@@ -78,6 +81,18 @@ struct ExperimentSpec {
   /// load then stays up when the service saturates — the regime overload
   /// protection exists for. Default keeps §3.3's closed loop.
   bool open_loop_arrivals = false;
+
+  /// Conservative parallel execution of this single trial (DESIGN §15):
+  /// the testbed's LAN islands become lookahead domains that execute in
+  /// lock-step windows one certified WAN latency wide. -1 (default) reads
+  /// the MUTSVC_PAR_DOMAINS environment variable; 0 keeps the classic
+  /// sequential event loop; >= 1 runs the windowed executor with that many
+  /// worker threads. Results are bit-identical at every worker count
+  /// (including the windowed 1-worker run), so the setting is purely a
+  /// wall-clock knob. Incompatible features (fault injection, resilience,
+  /// admission control, keep-alive, live metrics) are refused with a
+  /// diagnostic rather than silently degraded.
+  int parallel_domains = -1;
 };
 
 /// One full testbed run: Figure 2 topology + application + configuration
@@ -131,17 +146,40 @@ class Experiment final : public workload::RequestExecutor {
   [[nodiscard]] sim::Task<workload::RequestOutcome> execute(
       net::NodeId client_node, const workload::PageRequest& request) override;
 
-  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
-  [[nodiscard]] std::uint64_t dropped_requests() const { return dropped_; }
+  [[nodiscard]] std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped_requests() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Worker threads the windowed parallel executor will use for run()
+  /// (0 = the classic sequential loop). Resolved from spec.parallel_domains
+  /// / MUTSVC_PAR_DOMAINS at construction, then clamped to 1 under
+  /// SimCheck, SimRace, or an across-trial sweep worker — the clamp never
+  /// changes results, only the thread count.
+  [[nodiscard]] std::size_t parallel_workers() const { return par_workers_; }
+  /// Lookahead domain a node executes in (after the async-update coupling
+  /// merge; always installed, so sequential and parallel runs share one
+  /// event order).
+  [[nodiscard]] sim::Simulator::DomainId domain_of(net::NodeId n) const {
+    return node_domains_[n.value()];
+  }
 
   // --- admission accounting -------------------------------------------------
   // Counted at execute() entry, so the identity
   //   pages_started == requests_admitted + rejected_admission
   // holds exactly at any instant (requests_issued counts completions and
   // can momentarily trail it by the in-flight pages).
-  [[nodiscard]] std::uint64_t pages_started() const { return admitted_ + rejected_admission_; }
-  [[nodiscard]] std::uint64_t requests_admitted() const { return admitted_; }
-  [[nodiscard]] std::uint64_t rejected_admission() const { return rejected_admission_; }
+  [[nodiscard]] std::uint64_t pages_started() const {
+    return requests_admitted() + rejected_admission();
+  }
+  [[nodiscard]] std::uint64_t requests_admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejected_admission() const {
+    return rejected_admission_.load(std::memory_order_relaxed);
+  }
 
   /// Lets a bench observe every post-warm-up response sample (milliseconds)
   /// without enabling the full metrics pipeline. Mutually exclusive with
@@ -166,6 +204,13 @@ class Experiment final : public workload::RequestExecutor {
                                                comp::TraceSink& sink);
 
  private:
+  /// Resolves the parallel-domain configuration, merges async-update-coupled
+  /// islands into one domain, validates the topology against the lookahead
+  /// window (the LOOKAHEAD_cert.json contract) and installs domain tagging
+  /// (or the windowed mode) on the kernel. Must run before any component
+  /// schedules an event, so it is called before the Runtime is built.
+  void setup_parallel_domains(const comp::DeploymentPlan& plan);
+
   [[nodiscard]] sim::FifoResource& thread_pool(net::NodeId server);
 
   [[nodiscard]] sim::Task<void> execute_at(net::NodeId client_node, net::NodeId server,
@@ -194,10 +239,16 @@ class Experiment final : public workload::RequestExecutor {
   /// One admission bucket per entry node (lazily created; empty unless the
   /// flow config enables admission control).
   std::map<net::NodeId, net::TokenBucket> admission_;
-  std::uint64_t failovers_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t rejected_admission_ = 0;
+  /// Node → lookahead domain after the coupling merge; installed on the
+  /// kernel and the network at construction.
+  std::vector<sim::Simulator::DomainId> node_domains_;
+  std::size_t par_workers_ = 0;  // 0 = classic sequential event loop
+  // Commutative request-accounting sums bumped from client-island domains;
+  // relaxed atomics keep the totals exact under the parallel executor.
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_admission_{0};
   sim::Duration metrics_window_ = sim::Duration::zero();
   std::uint64_t trace_counter_ = 0;
 };

@@ -9,6 +9,14 @@
 
 namespace mutsvc::net {
 
+void RmiTransport::partition_streams(std::size_t node_count) {
+  node_rngs_.clear();
+  node_rngs_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    node_rngs_.push_back(net_.simulator().rng().fork("rmi-node-" + std::to_string(i)));
+  }
+}
+
 CircuitBreaker& RmiTransport::breaker(NodeId callee) {
   auto it = breakers_.find(callee);
   if (it == breakers_.end()) {
@@ -49,19 +57,19 @@ void RmiTransport::sync_metrics() {
   metrics_->set_counter(metrics_prefix_ + "breaker.closed", breaker_closes());
 }
 
-sim::Duration RmiTransport::backoff_delay(int attempt_no) {
+sim::Duration RmiTransport::backoff_delay(NodeId caller, int attempt_no) {
   double d = res_.backoff_base.as_seconds() * std::pow(res_.backoff_multiplier, attempt_no);
   d = std::min(d, res_.backoff_cap.as_seconds());
   if (res_.backoff_jitter > 0.0) {
-    d *= 1.0 + rng_.uniform(-res_.backoff_jitter, res_.backoff_jitter);
+    d *= 1.0 + stream_for(caller).uniform(-res_.backoff_jitter, res_.backoff_jitter);
   }
   return sim::Duration::seconds(std::max(d, 0.0));
 }
 
 sim::Task<void> RmiTransport::attempt(NodeId caller, NodeId callee, Bytes args,
                                       std::function<sim::Task<Bytes>()> server_work) {
-  if (cfg_.extra_rtt_prob > 0.0 && rng_.bernoulli(cfg_.extra_rtt_prob)) {
-    ++extra_round_trips_;
+  if (cfg_.extra_rtt_prob > 0.0 && stream_for(caller).bernoulli(cfg_.extra_rtt_prob)) {
+    extra_round_trips_.fetch_add(1, std::memory_order_relaxed);
     co_await net_.deliver(caller, callee, cfg_.ping_bytes);
     co_await net_.deliver(callee, caller, cfg_.ping_bytes);
   }
@@ -151,7 +159,7 @@ sim::Task<void> RmiTransport::do_call(NodeId caller, NodeId callee, Bytes args,
     }
     ++retries_;
     sync_metrics();
-    co_await net_.simulator().wait(backoff_delay(attempt_no));
+    co_await net_.simulator().wait(backoff_delay(caller, attempt_no));
   }
 }
 
@@ -191,12 +199,12 @@ sim::Task<void> RmiTransport::traced_call(NodeId caller, NodeId callee, Bytes ar
 sim::Task<void> RmiTransport::call(NodeId caller, NodeId callee, Bytes args, Bytes result,
                                    std::function<sim::Task<void>()> server_work,
                                    stats::TraceSink* trace) {
-  ++calls_;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   if (caller == callee) {
     co_await server_work();
     co_return;
   }
-  ++remote_calls_;
+  remote_calls_.fetch_add(1, std::memory_order_relaxed);
   co_await traced_call(caller, callee, args,
                        [result, work = std::move(server_work)]() -> sim::Task<Bytes> {
                          co_await work();
@@ -208,19 +216,19 @@ sim::Task<void> RmiTransport::call(NodeId caller, NodeId callee, Bytes args, Byt
 sim::Task<void> RmiTransport::call_dynamic(NodeId caller, NodeId callee, Bytes args,
                                            std::function<sim::Task<Bytes>()> server_work,
                                            stats::TraceSink* trace) {
-  ++calls_;
+  calls_.fetch_add(1, std::memory_order_relaxed);
   if (caller == callee) {
     (void)co_await server_work();
     co_return;
   }
-  ++remote_calls_;
+  remote_calls_.fetch_add(1, std::memory_order_relaxed);
   co_await traced_call(caller, callee, args, std::move(server_work), trace);
 }
 
 sim::Task<void> RmiTransport::stub_exchange(NodeId caller, NodeId callee,
                                             stats::TraceSink* trace) {
   if (caller == callee) co_return;
-  ++stub_exchanges_;
+  stub_exchanges_.fetch_add(1, std::memory_order_relaxed);
   const sim::SimTime t0 = net_.simulator().now();
   co_await net_.deliver(caller, callee, cfg_.stub_request);
   co_await net_.deliver(callee, caller, cfg_.stub_response);

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include <string>
 
@@ -76,6 +78,14 @@ class RmiTransport {
   [[nodiscard]] sim::Task<void> stub_exchange(NodeId caller, NodeId callee,
                                               stats::TraceSink* trace = nullptr);
 
+  /// Switches the extra-RTT / backoff randomness from the shared "rmi"
+  /// stream to one forked stream per caller node ("rmi-node-<i>"). Forking
+  /// is a pure function of the root seed and the name, so each node's draw
+  /// sequence is fixed regardless of how calls from different nodes
+  /// interleave — the property that lets lookahead domains run in parallel
+  /// without perturbing the draws. Call before issuing traffic.
+  void partition_streams(std::size_t node_count);
+
   /// Installs the resilience policy. Call before issuing traffic.
   void set_resilience(ResilienceConfig res) { res_ = res; }
   [[nodiscard]] const ResilienceConfig& resilience() const { return res_; }
@@ -102,10 +112,14 @@ class RmiTransport {
   [[nodiscard]] CircuitBreaker& breaker(NodeId callee);
 
   [[nodiscard]] const RmiConfig& config() const { return cfg_; }
-  [[nodiscard]] std::uint64_t calls() const { return calls_; }
-  [[nodiscard]] std::uint64_t remote_calls() const { return remote_calls_; }
-  [[nodiscard]] std::uint64_t extra_round_trips() const { return extra_round_trips_; }
-  [[nodiscard]] std::uint64_t stub_exchanges() const { return stub_exchanges_; }
+  [[nodiscard]] std::uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t remote_calls() const { return remote_calls_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t extra_round_trips() const {
+    return extra_round_trips_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stub_exchanges() const {
+    return stub_exchanges_.load(std::memory_order_relaxed);
+  }
 
   // --- resilience accounting ----------------------------------------------
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
@@ -131,7 +145,14 @@ class RmiTransport {
                                             std::function<sim::Task<Bytes>()> server_work,
                                             stats::TraceSink* trace);
 
-  [[nodiscard]] sim::Duration backoff_delay(int attempt_no);
+  [[nodiscard]] sim::Duration backoff_delay(NodeId caller, int attempt_no);
+
+  /// Randomness source for a call issued by `caller`: the node's own
+  /// stream once partition_streams() ran, the shared legacy stream before.
+  [[nodiscard]] sim::RngStream& stream_for(NodeId caller) {
+    const std::size_t i = caller.value();
+    return i < node_rngs_.size() ? node_rngs_[i] : rng_;
+  }
 
   /// Pushes the current resilience counters into the attached registry.
   void sync_metrics();
@@ -140,11 +161,14 @@ class RmiTransport {
   RmiConfig cfg_;
   ResilienceConfig res_;
   sim::RngStream rng_;
+  std::vector<sim::RngStream> node_rngs_;  // indexed by caller node id
   std::map<NodeId, CircuitBreaker> breakers_;
-  std::uint64_t calls_ = 0;
-  std::uint64_t remote_calls_ = 0;
-  std::uint64_t extra_round_trips_ = 0;
-  std::uint64_t stub_exchanges_ = 0;
+  // Commutative sums in relaxed atomics: safe to bump from any lookahead
+  // domain without an ordering dependency.
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> remote_calls_{0};
+  std::atomic<std::uint64_t> extra_round_trips_{0};
+  std::atomic<std::uint64_t> stub_exchanges_{0};
   std::uint64_t retries_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t failed_calls_ = 0;

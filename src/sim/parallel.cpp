@@ -1,0 +1,166 @@
+// simlint:allow-file(sim-shared-across-threads)
+//
+// Conservative time-windowed parallel execution (DESIGN §15). This is the
+// ONE sanctioned intra-trial crossing of Simulator state and OS threads:
+// within a window each worker owns a disjoint set of shards (claimed
+// through an atomic ticket, like core/sweep's across-trial pool), and the
+// only shared mutable state — outbox slots, staged effects, captured
+// errors — is drained single-threaded at the window barrier. Determinism
+// does not come from the threads at all: every event's order key is
+// assigned at creation, so the merged schedule is the same at any worker
+// count.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "sim/simulator.hpp"
+
+namespace mutsvc::sim {
+
+/// Persistent worker pool driving one trial's windows. Workers park on a
+/// condition variable between windows; each window is a generation bump.
+/// The coordinating thread participates in shard execution, so `workers`
+/// is the total number of executing threads (workers-1 are spawned).
+class ParallelWindowPool {
+ public:
+  ParallelWindowPool(Simulator& sim, std::size_t workers) : sim_(sim) {
+    const std::size_t spawn = workers - 1;
+    threads_.reserve(spawn);
+    for (std::size_t i = 0; i < spawn; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ParallelWindowPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Executes one window across all shards and blocks until every
+  /// participant — not merely every shard — is done. Waiting for the
+  /// participants, not the shards, means no worker can still be reaching
+  /// for the ticket counter when the next window resets it; the
+  /// acquire/release pair on `active_` also publishes all shard writes to
+  /// the coordinator before the barrier merge reads them.
+  void run_window(SimTime until) {
+    next_shard_.store(0, std::memory_order_relaxed);
+    until_ = until;
+    active_.store(static_cast<std::uint32_t>(threads_.size()) + 1,
+                  std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    claim_shards();
+    finish_pass();
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return active_.load(std::memory_order_acquire) == 0; });
+  }
+
+ private:
+  void claim_shards() {
+    const auto nshards = static_cast<std::uint32_t>(sim_.shards_.size());
+    std::uint32_t i;
+    while ((i = next_shard_.fetch_add(1, std::memory_order_relaxed)) < nshards) {
+      sim_.run_shard_span(sim_.shards_[i], sim_.window_end_, until_,
+                          /*capture_errors=*/true);
+    }
+  }
+
+  void finish_pass() {
+    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_one();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      claim_shards();
+      finish_pass();
+    }
+  }
+
+  Simulator& sim_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::atomic<std::uint32_t> next_shard_{0};
+  std::atomic<std::uint32_t> active_{0};
+  SimTime until_;
+};
+
+std::size_t Simulator::run_windows_until(SimTime until, std::size_t workers) {
+  if (!windowed_) {
+    throw std::logic_error("Simulator::run_windows_until requires enable_windowed()");
+  }
+  if (workers == 0) workers = 1;
+
+  const auto total_executed = [this] {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) n += s.executed;
+    return n;
+  };
+  const std::size_t before = total_executed();
+
+  // Restore the caller's scheduling domain and refresh the global executed
+  // count even when a captured error propagates out of the barrier.
+  struct Restore {
+    Simulator& sim;
+    DomainId prev;
+    ~Restore() {
+      Simulator::set_current_domain(prev);
+      std::size_t n = 0;
+      for (const Shard& s : sim.shards_) n += s.executed;
+      sim.executed_ = n;
+    }
+  } restore{*this, current_domain()};
+
+  std::optional<ParallelWindowPool> pool;
+  if (workers > 1 && shards_.size() > 1) pool.emplace(*this, workers);
+
+  const std::int64_t width = window_.count_micros();
+  for (;;) {
+    SimTime front = SimTime::max();
+    for (const Shard& s : shards_) {
+      if (!s.heap.empty() && s.heap.front().at < front) front = s.heap.front().at;
+    }
+    if (front == SimTime::max() || front > until) break;
+    // Windows live on a fixed grid so the partition of events into windows
+    // is a pure function of event times, never of execution pacing.
+    window_end_ = SimTime::from_micros((front.count_micros() / width + 1) * width);
+    if (pool) {
+      pool->run_window(until);
+    } else {
+      for (Shard& s : shards_) run_shard_span(s, window_end_, until, /*capture_errors=*/true);
+    }
+    merge_barrier();
+  }
+
+  if (until != SimTime::max()) {
+    for (Shard& s : shards_) {
+      if (s.now < until) s.now = until;
+    }
+  }
+  return total_executed() - before;
+}
+
+}  // namespace mutsvc::sim

@@ -53,7 +53,7 @@ class FifoResource {
       auto h = waiters_.front();
       waiters_.pop_front();
       ++busy_;  // hand the slot straight to the next waiter
-      sim_.schedule_after(Duration::zero(), [h] { h.resume(); });
+      sim_.schedule_resume_after(Duration::zero(), h);
     } else {
       ++free_;
     }

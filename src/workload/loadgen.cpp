@@ -31,18 +31,26 @@ void LoadGenerator::start_open_group(const ClientGroupSpec& spec, sim::SimTime e
 
 void LoadGenerator::record_outcome(const ClientGroupSpec& spec, const PageRequest& req,
                                    RequestOutcome outcome, sim::Duration response_time) {
-  ++requests_;
-  switch (outcome) {
-    case RequestOutcome::kOk:
-      collector_.record(sim_.now(), req.page, req.pattern, spec.group, response_time);
-      break;
-    case RequestOutcome::kFailed:
-      collector_.record_failure(sim_.now(), req.page, req.pattern, spec.group);
-      break;
-    case RequestOutcome::kRejected:
-      collector_.record_rejection(sim_.now(), req.page, req.pattern, spec.group);
-      break;
-  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  // The collector's histograms are shared, order-sensitive state: stage the
+  // record as a sequenced effect. Sequentially it runs inline right here;
+  // under parallel domains it replays at the window barrier in
+  // deterministic (time, key) stamp order, so the collector ingests
+  // completions in exactly the sequential order.
+  sim_.sequenced([this, now = sim_.now(), page = req.page, pattern = req.pattern,
+                  group = spec.group, outcome, response_time] {
+    switch (outcome) {
+      case RequestOutcome::kOk:
+        collector_.record(now, page, pattern, group, response_time);
+        break;
+      case RequestOutcome::kFailed:
+        collector_.record_failure(now, page, pattern, group);
+        break;
+      case RequestOutcome::kRejected:
+        collector_.record_rejection(now, page, pattern, group);
+        break;
+    }
+  });
 }
 
 sim::Task<void> LoadGenerator::run_client(ClientGroupSpec spec, bool is_browser,
@@ -53,7 +61,7 @@ sim::Task<void> LoadGenerator::run_client(ClientGroupSpec spec, bool is_browser,
 
   while (sim_.now() < end_at) {
     auto script = is_browser ? spec.browser_factory() : spec.writer_factory();
-    ++sessions_;
+    sessions_.fetch_add(1, std::memory_order_relaxed);
     while (auto req = script->next()) {
       if (sim_.now() >= end_at) co_return;
       const sim::SimTime start = sim_.now();
@@ -91,7 +99,7 @@ sim::Task<void> LoadGenerator::run_open_arrivals(ClientGroupSpec spec, sim::SimT
     std::optional<PageRequest> req = script ? script->next() : std::nullopt;
     if (!req) {
       script = is_browser ? spec.browser_factory() : spec.writer_factory();
-      ++sessions_;
+      sessions_.fetch_add(1, std::memory_order_relaxed);
       req = script->next();
       if (!req) continue;  // empty script: nothing to issue for this kind
     }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -76,8 +77,12 @@ class LoadGenerator {
   /// construction.
   void start_open_group(const ClientGroupSpec& spec, sim::SimTime end_at, sim::RngStream rng);
 
-  [[nodiscard]] std::uint64_t requests_issued() const { return requests_; }
-  [[nodiscard]] std::uint64_t sessions_started() const { return sessions_; }
+  [[nodiscard]] std::uint64_t requests_issued() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sessions_started() const {
+    return sessions_.load(std::memory_order_relaxed);
+  }
 
  private:
   [[nodiscard]] sim::Task<void> run_client(ClientGroupSpec spec, bool is_browser,
@@ -92,8 +97,9 @@ class LoadGenerator {
   RequestExecutor& executor_;
   stats::ResponseTimeCollector& collector_;
   LoadGenConfig cfg_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t sessions_ = 0;
+  // Commutative sums in relaxed atomics — safe from any lookahead domain.
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> sessions_{0};
 };
 
 }  // namespace mutsvc::workload

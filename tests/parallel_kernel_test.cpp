@@ -1,0 +1,409 @@
+// Conservative windowed parallel execution (DESIGN §15): the tagged
+// sequential loop and the windowed executor must produce bit-identical
+// results at any worker count; per-domain RNG streams are pure functions of
+// (seed, domain); a throwing domain surfaces the smallest-stamp error
+// deterministically (mirroring core::sweep's contract within a trial); and
+// incompatible experiment features are refused with a clear diagnostic
+// instead of being silently degraded.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/petstore/petstore.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+#include "net/faults.hpp"
+#include "sim/simcheck.hpp"
+#include "sim/simrace.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace mutsvc;
+
+// Scoped environment override (MUTSVC_PAR_DOMAINS resolution tests).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// --- kernel: tagged sequential vs windowed at any worker count ---------------
+
+// One task per domain: local timer chatter plus a periodic hop to the next
+// domain and back, always a full window or more away — the message-edge
+// discipline the real Network enforces. Every iteration appends to a
+// sequenced log, so the *interleaving* (not just the totals) is compared.
+[[nodiscard]] sim::Task<void> domain_chatter(sim::Simulator& sim, std::uint32_t id,
+                                             std::uint32_t domains,
+                                             std::vector<std::uint64_t>& log,
+                                             sim::SimTime end) {
+  const auto dest = static_cast<sim::Simulator::DomainId>((id + 1) % domains);
+  const auto home = static_cast<sim::Simulator::DomainId>(id);
+  std::uint64_t draws = 0;
+  while (sim.now() < end) {
+    for (int i = 0; i < 3; ++i) {
+      co_await sim.wait(sim::us(700 + 13 * id + i));
+      const std::uint64_t draw = sim.domain_rng(sim.current_domain()).uniform_int(0, 1 << 20);
+      draws += draw;
+      sim.sequenced([&log, id, draw, now = sim.now()] {
+        log.push_back((static_cast<std::uint64_t>(id) << 56) ^
+                      (static_cast<std::uint64_t>(now.count_micros()) << 8) ^
+                      (draw & 0xff));
+      });
+    }
+    // Cross-domain round trip, each leg >= the 50 ms window.
+    co_await sim.wait_in(dest, sim::ms(60));
+    co_await sim.wait_in(home, sim::ms(50));
+  }
+  sim.sequenced([&log, draws] { log.push_back(draws); });
+}
+
+struct KernelRun {
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+};
+
+KernelRun run_kernel(bool windowed, std::size_t workers) {
+  constexpr std::uint32_t kDomains = 4;
+  sim::Simulator sim(90125);
+  if (windowed) {
+    sim.enable_windowed(kDomains, sim::ms(50));
+  } else {
+    sim.enable_domains(kDomains);
+  }
+  const sim::SimTime end = sim::SimTime::origin() + sim::sec(6);
+  std::vector<std::uint64_t> log;
+  for (std::uint32_t d = 0; d < kDomains; ++d) {
+    sim::Simulator::DomainScope scope(sim, static_cast<sim::Simulator::DomainId>(d));
+    sim.spawn(domain_chatter(sim, d, kDomains, log, end));
+  }
+  if (windowed) {
+    sim.run_windows_until(end, workers);
+  } else {
+    sim.run_until(end);
+  }
+  KernelRun r;
+  r.events = sim.executed_events();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t v : log) h = fnv1a(h, v);
+  r.digest = fnv1a(h, log.size());
+  return r;
+}
+
+TEST(ParallelKernel, WindowedMatchesTaggedSequentialAtAnyWorkerCount) {
+  const KernelRun sequential = run_kernel(/*windowed=*/false, 0);
+  EXPECT_GT(sequential.events, 1000u);
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const KernelRun par = run_kernel(/*windowed=*/true, workers);
+    EXPECT_EQ(par.events, sequential.events) << "workers " << workers;
+    EXPECT_EQ(par.digest, sequential.digest) << "workers " << workers;
+  }
+}
+
+// --- kernel: per-domain RNG stream purity ------------------------------------
+
+TEST(ParallelKernel, DomainRngStreamsAreForkPureAndIndependent) {
+  // Same seed, different modes, draws taken in different domain orders:
+  // every domain's stream must still produce the identical sequence,
+  // because forking is a pure function of (root seed, stream name) and the
+  // streams are mutually independent.
+  sim::Simulator a(4242);
+  a.enable_domains(4);
+  sim::Simulator b(4242);
+  b.enable_windowed(4, sim::ms(10));
+
+  std::vector<std::vector<std::uint64_t>> draws_a(4);
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    for (int i = 0; i < 16; ++i) {
+      draws_a[d].push_back(a.domain_rng(static_cast<sim::Simulator::DomainId>(d))
+                               .uniform_int(0, 1 << 30));
+    }
+  }
+  std::vector<std::vector<std::uint64_t>> draws_b(4);
+  for (int i = 0; i < 16; ++i) {  // interleaved, reverse domain order
+    for (std::uint32_t d = 4; d-- > 0;) {
+      draws_b[d].push_back(b.domain_rng(static_cast<sim::Simulator::DomainId>(d))
+                               .uniform_int(0, 1 << 30));
+    }
+  }
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(draws_a[d], draws_b[d]) << "domain " << d;
+    for (std::uint32_t e = d + 1; e < 4; ++e) {
+      EXPECT_NE(draws_a[d], draws_a[e]) << "domains " << d << "/" << e << " collide";
+    }
+  }
+  // A different root seed moves every stream.
+  sim::Simulator c(4243);
+  c.enable_domains(4);
+  EXPECT_NE(c.domain_rng(0).uniform_int(0, 1 << 30), draws_a[0][0]);
+}
+
+// --- kernel: deterministic error surfacing -----------------------------------
+
+TEST(ParallelKernel, EarliestStampedDomainErrorWinsAtAnyWorkerCount) {
+  // Mirrors sweep_test's ThrowingTrialDoesNotDeadlockOrSkipOthers, one
+  // level down: domains stand in for trials, the window barrier for the
+  // pool join, and the smallest event stamp for the lowest index.
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    sim::Simulator sim(7);
+    sim.enable_windowed(3, sim::ms(50));
+    {
+      sim::Simulator::DomainScope scope(sim, 1);
+      sim.schedule_at(sim::SimTime::origin() + sim::ms(30),
+                      [] { throw std::runtime_error("boom-late"); });
+    }
+    {
+      sim::Simulator::DomainScope scope(sim, 2);
+      sim.schedule_at(sim::SimTime::origin() + sim::ms(10),
+                      [] { throw std::runtime_error("boom-early"); });
+      sim.schedule_at(sim::SimTime::origin() + sim::ms(5), [] {});
+    }
+    try {
+      sim.run_windows_until(sim::SimTime::origin() + sim::ms(100), workers);
+      FAIL() << "expected the domain failure to propagate (workers " << workers << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom-early") << "workers " << workers;
+    }
+  }
+}
+
+TEST(ParallelKernel, UndercuttingTheWindowThrowsLookaheadViolation) {
+  // wait_in throws at the co_await, inside the offending coroutine — the
+  // producer learns about the undercut at the exact schedule site.
+  sim::Simulator sim(7);
+  sim.enable_windowed(2, sim::ms(50));
+  std::string caught;
+  struct Hop {
+    sim::Simulator& sim;
+    std::string& caught;
+    [[nodiscard]] sim::Task<void> operator()() const {
+      try {
+        co_await sim.wait_in(1, sim::ms(10));  // < the 50 ms window
+      } catch (const sim::LookaheadViolation& e) {
+        caught = e.what();
+      }
+    }
+  };
+  sim.spawn(Hop{sim, caught}());
+  sim.run_windows_until(sim::SimTime::origin() + sim::sec(1), 2);
+  EXPECT_NE(caught.find("lookahead"), std::string::npos) << "caught: '" << caught << "'";
+}
+
+// --- experiment: trial fingerprints across worker counts ---------------------
+
+struct Fingerprint {
+  std::uint64_t events = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t digest = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint run_trial(core::ConfigLevel level, int parallel_domains, std::size_t shards = 1) {
+  apps::petstore::PetStoreApp app;
+  apps::AppDriver driver = app.driver();
+  core::ExperimentSpec spec;
+  spec.level = level;
+  spec.duration = sim::sec(20);
+  spec.warmup = sim::sec(4);
+  spec.parallel_domains = parallel_domains;
+  spec.shard.shards = shards;
+  core::Experiment exp{driver, spec, core::petstore_calibration()};
+  exp.run();
+
+  Fingerprint fp;
+  fp.events = exp.simulator().executed_events();
+  fp.samples = exp.results().total_samples();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::string& pattern : {driver.browser_pattern, driver.writer_pattern}) {
+    for (stats::ClientGroup g : {stats::ClientGroup::kLocal, stats::ClientGroup::kRemote}) {
+      double d = exp.results().pattern_mean_ms(pattern, g);
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      h = fnv1a(h, bits);
+    }
+  }
+  h = fnv1a(h, exp.results().failures());
+  h = fnv1a(h, exp.requests_issued());
+  fp.digest = h;
+  return fp;
+}
+
+TEST(ParallelTrial, RungFingerprintsIdenticalAcrossWorkerCounts) {
+  // One rung where edges stay independent domains (blocking push) and the
+  // rung where async updates couple every island with the main server — the
+  // coupling merge must stay bit-identical too, it just parallelizes less.
+  for (core::ConfigLevel level :
+       {core::ConfigLevel::kQueryCaching, core::ConfigLevel::kAsyncUpdates}) {
+    const Fingerprint sequential = run_trial(level, 0);
+    EXPECT_GT(sequential.samples, 0u);
+    for (int workers : {1, 2, 4}) {
+      const Fingerprint par = run_trial(level, workers);
+      EXPECT_EQ(par.events, sequential.events)
+          << core::to_string(level) << " workers " << workers;
+      EXPECT_EQ(par.samples, sequential.samples)
+          << core::to_string(level) << " workers " << workers;
+      EXPECT_EQ(par.digest, sequential.digest)
+          << core::to_string(level) << " workers " << workers;
+    }
+  }
+}
+
+TEST(ParallelTrial, ShardedTrialFingerprintsIdenticalAcrossWorkerCounts) {
+  const Fingerprint sequential = run_trial(core::ConfigLevel::kQueryCaching, 0, 8);
+  EXPECT_GT(sequential.samples, 0u);
+  for (int workers : {1, 4}) {
+    EXPECT_EQ(run_trial(core::ConfigLevel::kQueryCaching, workers, 8), sequential)
+        << "workers " << workers;
+  }
+}
+
+// --- experiment: configuration resolution and refusals -----------------------
+
+TEST(ParallelTrial, SpecOverridesEnvironmentAndEnvIsDefault) {
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.duration = sim::sec(1);
+  // Instrumented runs (MUTSVC_SIMCHECK / MUTSVC_SIMRACE) clamp any windowed
+  // request to one worker, so expectations shift when this binary itself is
+  // run under the sanitizers — the clamp is exactly what's being verified.
+  const std::size_t clamped =
+      (mutsvc::simcheck::enabled() || mutsvc::simrace::enabled()) ? 1u : 0u;
+  {
+    ScopedEnv env("MUTSVC_PAR_DOMAINS", "3");
+    spec.parallel_domains = -1;
+    core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+    EXPECT_EQ(exp.parallel_workers(), clamped != 0 ? clamped : 3u);
+  }
+  {
+    ScopedEnv env("MUTSVC_PAR_DOMAINS", "3");
+    spec.parallel_domains = 0;  // spec wins over the environment
+    core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+    EXPECT_EQ(exp.parallel_workers(), 0u);
+  }
+  {
+    ScopedEnv env("MUTSVC_PAR_DOMAINS", "garbage");
+    spec.parallel_domains = -1;
+    core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+    EXPECT_EQ(exp.parallel_workers(), 0u);
+  }
+}
+
+TEST(ParallelTrial, EnvDerivedRequestsFallBackOnIncompatibleConfigs) {
+  // MUTSVC_PAR_DOMAINS is a fleet-wide knob (a CI matrix row exports it for
+  // an entire test run), so an env-derived request on a configuration that
+  // cannot parallelize degrades to the sequential tagged loop — which is
+  // bit-identical anyway — instead of refusing. Only an explicit
+  // spec.parallel_domains >= 1 turns the incompatibility into an error.
+  ScopedEnv env("MUTSVC_PAR_DOMAINS", "4");
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.duration = sim::sec(1);
+  spec.resilience.enabled = true;
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  EXPECT_EQ(exp.parallel_workers(), 0u);
+}
+
+TEST(ParallelTrial, IncompatibleFeaturesAreRefusedWithDiagnostics) {
+  apps::petstore::PetStoreApp app;
+  auto expect_refused = [&](core::ExperimentSpec spec, const char* needle) {
+    spec.duration = sim::sec(1);
+    spec.parallel_domains = 2;
+    try {
+      core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+      FAIL() << "expected refusal mentioning '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("MUTSVC_PAR_DOMAINS"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+
+  core::ExperimentSpec faults;
+  faults.fault_plan.loss_prob = 0.01;
+  expect_refused(faults, "fault injection");
+
+  core::ExperimentSpec resilient;
+  resilient.resilience.enabled = true;
+  expect_refused(resilient, "resilience");
+
+  core::ExperimentSpec admission;
+  admission.flow.enabled = true;
+  admission.flow.admission_rate = 50.0;
+  expect_refused(admission, "admission");
+
+  // enable_metrics is a post-construction switch: refused at the call.
+  core::ExperimentSpec spec;
+  spec.duration = sim::sec(1);
+  spec.parallel_domains = 2;
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  EXPECT_THROW(exp.enable_metrics(sim::sec(10)), std::invalid_argument);
+}
+
+TEST(ParallelTrial, SweepWorkerClampsWindowedWorkersToOne) {
+  // Across-trial and within-trial parallelism compose: a trial on a sweep
+  // worker runs the windowed executor with one worker (same bits, no nested
+  // pool). The inline sweep path (jobs=1) keeps the requested width.
+  apps::petstore::PetStoreApp app;
+  std::vector<std::size_t> widths(2, 999);
+  core::sweep::run_indexed(
+      2,
+      [&](std::size_t i) {
+        core::ExperimentSpec spec;
+        spec.duration = sim::sec(1);
+        spec.parallel_domains = 4;
+        core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+        widths[i] = exp.parallel_workers();
+      },
+      /*jobs=*/2);
+  EXPECT_EQ(widths[0], 1u);
+  EXPECT_EQ(widths[1], 1u);
+
+  core::ExperimentSpec spec;
+  spec.duration = sim::sec(1);
+  spec.parallel_domains = 4;
+  core::Experiment inline_exp{app.driver(), spec, core::petstore_calibration()};
+  // Under MUTSVC_SIMCHECK/MUTSVC_SIMRACE the instrumentation clamp keeps the
+  // inline path at one worker too.
+  const std::size_t inline_width =
+      (mutsvc::simcheck::enabled() || mutsvc::simrace::enabled()) ? 1u : 4u;
+  EXPECT_EQ(inline_exp.parallel_workers(), inline_width);
+}
+
+}  // namespace

@@ -505,12 +505,17 @@ void rule_lock_balance(const FileCtx& ctx, std::vector<Finding>& out) {
 
 // --- rule: sim-shared-across-threads -----------------------------------------
 
-/// The simulation kernel is single-threaded by design: a Simulator, its
-/// event heap, and everything hanging off it must be confined to one
+/// The simulation kernel executes single-threaded by default: a Simulator,
+/// its event heap, and everything hanging off it must be confined to one
 /// thread. A file that both names the Simulator type and spawns OS threads
-/// is the signature of sharing a simulation across threads. The one
-/// sanctioned crossing point is core/sweep.cpp, which fans out *whole
-/// trials* — each thread owns its own Simulator — and its test.
+/// is the signature of sharing a simulation across threads. The sanctioned
+/// crossing points are (a) core/sweep.cpp, which fans out *whole trials* —
+/// each thread owns its own Simulator — and its test, and (b)
+/// sim/parallel.cpp, the windowed lookahead-domain executor, where each
+/// worker owns one domain's shard of a single Simulator and cross-domain
+/// traffic moves only through index-addressed barrier outboxes. Both carry
+/// explicit allow markers; everything else must keep simulation state off
+/// OS threads.
 void rule_sim_shared_across_threads(const FileCtx& ctx, std::vector<Finding>& out) {
   bool names_simulator = false;
   for (const std::string& line : ctx.code) {
@@ -526,8 +531,9 @@ void rule_sim_shared_across_threads(const FileCtx& ctx, std::vector<Finding>& ou
       if (has_token(ctx.code[i], tok, false)) {
         add_finding(out, ctx, static_cast<int>(i + 1), "sim-shared-across-threads",
                     std::string("'") + tok +
-                        "' in a file that names sim::Simulator — simulations are "
-                        "single-threaded; parallelize whole trials via core::sweep instead");
+                        "' in a file that names sim::Simulator — simulation state is "
+                        "thread-confined; parallelize whole trials via core::sweep or "
+                        "within-trial windows via the sim/parallel.cpp executor instead");
       }
     }
   }
