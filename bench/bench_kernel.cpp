@@ -21,12 +21,21 @@
 //    again under the windowed executor with four workers. The event counts
 //    and sample counts must match bit-for-bit (the bench aborts otherwise);
 //    the reported `wall_speedup_x` is the within-trial parallel win.
+//  - kernel.sessions: one million concurrent sessions held as 40-byte FSM
+//    records in the SessionFsmEngine arena (DESIGN §16) against a local
+//    fixed-latency executor. Aborts if memory-per-session leaves its budget
+//    or the fleet fails to become fully resident; `sessions`, `requests`,
+//    `events`, and the byte metrics are simulated/deterministic while
+//    `wall_sessions_per_core` tracks host throughput.
 //
 // MUTSVC_FAST=1 shrinks everything to a CI smoke run.
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,7 +47,11 @@
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "stats/collector.hpp"
 #include "tools/perf/perfjson.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/loadgen.hpp"
+#include "workload/session_fsm.hpp"
 
 using namespace mutsvc;
 
@@ -215,6 +228,100 @@ perf::Benchmark bench_parallel_trial() {
   return b;
 }
 
+/// The service stub for kernel.sessions: a constant-latency responder, so
+/// the bench isolates the engine + kernel and the request count stays a
+/// pure function of the timing contract.
+class FixedLatencyExecutor final : public workload::RequestExecutor {
+ public:
+  FixedLatencyExecutor(sim::Simulator& sim, sim::Duration latency)
+      : sim_(sim), latency_(latency) {}
+  [[nodiscard]] sim::Task<workload::RequestOutcome> execute(net::NodeId,
+                                                            const workload::PageRequest&) override {
+    co_await sim_.wait(latency_);
+    co_return workload::RequestOutcome::kOk;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Duration latency_;
+};
+
+/// Random-walk script (2–4 pages over a 5-page site) so every session
+/// exercises the per-record rng stream and scratch words, not a fixed loop.
+class SessionsBenchModel final : public workload::FsmScriptModel {
+ public:
+  std::optional<workload::PageRequest> next(std::uint32_t step, workload::FsmScratch& scratch,
+                                            workload::SmallRng& rng) const override {
+    if (step == 0) scratch.w0 = static_cast<std::uint64_t>(rng.uniform_int(2, 4));
+    if (step >= scratch.w0) return std::nullopt;
+    workload::PageRequest req;
+    req.page = "Page" + std::to_string(rng.uniform_int(0, 4));
+    req.pattern = pattern();
+    req.component = "Web";
+    req.method = "serve";
+    return req;
+  }
+  [[nodiscard]] const char* pattern() const override { return "Bench"; }
+};
+
+perf::Benchmark bench_sessions() {
+  // The million-session acceptance cell (ISSUE 9): the whole fleet resident
+  // at once as recurring closed-loop sessions, default 7s think / 100ms
+  // calendar quantum, run for two think intervals so every session issues
+  // at least twice.
+  const std::size_t sessions = fast_mode() ? 100000 : 1000000;
+  const double sim_seconds = 15.0;
+  constexpr double kBytesPerSessionCeiling = 96.0;
+
+  sim::Simulator s(1);
+  stats::ResponseTimeCollector collector;
+  FixedLatencyExecutor exec{s, sim::ms(5)};
+  workload::SessionFsmEngine engine{s, exec, collector};
+  const std::uint8_t kind = engine.add_kind(std::make_shared<SessionsBenchModel>(),
+                                            net::NodeId{0}, stats::ClientGroup::kLocal);
+  const sim::SimTime end = sim::SimTime::origin() + sim::sec(sim_seconds);
+  perf::WallTimer timer;
+  engine.start_population(kind, sessions, end, /*seed=*/2026);
+  const double resident_bytes_per_session =
+      static_cast<double>(engine.arena_bytes()) / static_cast<double>(sessions);
+  s.run_until(end);
+  const double wall = timer.seconds();
+
+  if (engine.peak_live_sessions() != sessions) {
+    std::cerr << "bench_kernel: kernel.sessions fleet never fully resident ("
+              << engine.peak_live_sessions() << " of " << sessions << ")\n";
+    std::exit(1);
+  }
+  if (resident_bytes_per_session > kBytesPerSessionCeiling) {
+    std::cerr << "bench_kernel: kernel.sessions memory-per-session "
+              << resident_bytes_per_session << " bytes exceeds the " << kBytesPerSessionCeiling
+              << "-byte ceiling\n";
+    std::exit(1);
+  }
+  if (engine.requests_issued() < 2 * sessions ||
+      engine.requests_issued() != engine.requests_completed() + engine.requests_in_flight()) {
+    std::cerr << "bench_kernel: kernel.sessions accounting broke (issued "
+              << engine.requests_issued() << ", completed " << engine.requests_completed()
+              << ", in flight " << engine.requests_in_flight() << ")\n";
+    std::exit(1);
+  }
+
+  const auto events = static_cast<double>(s.executed_events());
+  const unsigned cores = std::thread::hardware_concurrency();  // simlint:allow(sim-shared-across-threads)
+  perf::Benchmark b{"kernel.sessions", {}};
+  b.add("sessions", static_cast<double>(sessions));
+  b.add("requests", static_cast<double>(engine.requests_issued()));
+  b.add("samples", static_cast<double>(collector.total_samples()));
+  b.add("events", events);
+  b.add("record_bytes", static_cast<double>(workload::SessionFsmEngine::record_bytes()));
+  b.add("bytes_per_session", resident_bytes_per_session);
+  b.add("wall_seconds", wall);
+  b.add("wall_events_per_sec", wall > 0.0 ? events / wall : 0.0);
+  b.add("wall_sessions_per_core",
+        cores > 0 ? static_cast<double>(sessions) / static_cast<double>(cores) : 0.0);
+  return b;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,6 +339,7 @@ int main(int argc, char** argv) {
   results.push_back(bench_indexed_finder());
   results.push_back(bench_response_hist());
   results.push_back(bench_parallel_trial());
+  results.push_back(bench_sessions());
 
   perf::Benchmark host{"host", {}};
   host.add("wall_peak_rss_bytes", static_cast<double>(perf::peak_rss_bytes()));

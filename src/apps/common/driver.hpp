@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "db/database.hpp"
 #include "sim/random.hpp"
 #include "workload/session.hpp"
+#include "workload/session_fsm.hpp"
 
 namespace mutsvc::apps {
 
@@ -24,6 +26,14 @@ struct AppDriver {
   std::function<void(comp::Runtime&)> bind_entities;
   std::function<workload::SessionFactory(sim::RngStream)> browser_factory;
   std::function<workload::SessionFactory(sim::RngStream)> writer_factory;
+  /// Optional FSM script models for the million-session load engine
+  /// (DESIGN §16): pure per-step functions over the 40-byte session record,
+  /// parameterized by the Zipf item-popularity exponent (0 = uniform). Apps
+  /// that leave these unset cannot run with ExperimentSpec::fsm_load.
+  std::function<std::shared_ptr<const workload::FsmScriptModel>(double zipf_s)>
+      fsm_browser_model;
+  std::function<std::shared_ptr<const workload::FsmScriptModel>(double zipf_s)>
+      fsm_writer_model;
   std::vector<std::pair<std::string, std::string>> table_pages;  // (pattern, page)
   std::string browser_pattern = "Browser";  // the read-only usage pattern
   std::string writer_pattern;               // "Buyer", "Bidder", "Operator", ...

@@ -458,6 +458,157 @@ class BuyerScript final : public workload::SessionScript {
   std::int64_t item_ = 0;
 };
 
+// --- FSM script models (million-session load engine, DESIGN §16) ---------------
+
+/// Rank -> item id in fixed catalog order: rank 0 is item 1001001 (category
+/// 1, first product, first item). Gives the Zipf sampler a stable popularity
+/// order whose head maps to one primary key — and therefore one shard.
+std::int64_t item_for_rank(const Shape& shape, std::size_t rank) {
+  const int per_category = shape.products_per_category * shape.items_per_product;
+  const auto flat = static_cast<std::int64_t>(rank);
+  const std::int64_t category = flat / per_category + 1;
+  const std::int64_t within = flat % per_category;
+  const std::int64_t product =
+      shape.product_id(category, static_cast<int>(within / shape.items_per_product));
+  return shape.item_id(product, static_cast<int>(within % shape.items_per_product));
+}
+
+workload::PageRequest fsm_page(const char* pattern, std::string name, std::string method,
+                               std::vector<Value> args) {
+  workload::PageRequest req;
+  req.page = std::move(name);
+  req.pattern = pattern;
+  req.component = "PetStoreWeb";
+  req.method = std::move(method);
+  req.args = std::move(args);
+  return req;
+}
+
+/// Table 2 as an FSM: scratch.w0 carries the current category, scratch.w1
+/// the current product — the same logically ordered chain as BrowserScript,
+/// replayed from 16 bytes of per-session state.
+class FsmBrowserModel final : public workload::FsmScriptModel {
+ public:
+  FsmBrowserModel(Shape shape, double zipf_s) : shape_(shape) {
+    if (zipf_s > 0.0) {
+      zipf_.emplace(static_cast<std::size_t>(shape.total_items()), zipf_s);
+    }
+  }
+
+  std::optional<workload::PageRequest> next(std::uint32_t step, workload::FsmScratch& scratch,
+                                            workload::SmallRng& rng) const override {
+    if (step >= static_cast<std::uint32_t>(PetStoreApp::kBrowserSessionLength)) {
+      return std::nullopt;
+    }
+    if (step == 0) return fsm_page("Browser", "Main", "main", {});
+
+    auto category = static_cast<std::int64_t>(scratch.w0);
+    auto product = static_cast<std::int64_t>(scratch.w1);
+    static constexpr std::array<double, 5> kWeights = {5, 15, 30, 45, 5};
+    std::optional<workload::PageRequest> req;
+    switch (rng.weighted_index(kWeights)) {
+      case 0:
+        req = fsm_page("Browser", "Main", "main", {});
+        break;
+      case 1:
+        category = rng.uniform_int(1, shape_.categories);
+        product = 0;
+        req = fsm_page("Browser", "Category", "category", {Value{category}});
+        break;
+      case 2:
+        if (category == 0) category = rng.uniform_int(1, shape_.categories);
+        product = shape_.product_id(
+            category, static_cast<int>(rng.uniform_int(0, shape_.products_per_category - 1)));
+        req = fsm_page("Browser", "Product", "product", {Value{product}});
+        break;
+      case 3: {
+        std::int64_t item = 0;
+        if (zipf_) {
+          // Popularity-skewed mode: items are drawn by global Zipf rank
+          // instead of the uniform category/product chain, concentrating
+          // views (and the buyers' writes) on the head of the catalog.
+          item = item_for_rank(shape_, zipf_->sample(rng));
+        } else {
+          if (product == 0) {
+            if (category == 0) category = rng.uniform_int(1, shape_.categories);
+            product = shape_.product_id(
+                category,
+                static_cast<int>(rng.uniform_int(0, shape_.products_per_category - 1)));
+          }
+          item = shape_.item_id(
+              product, static_cast<int>(rng.uniform_int(0, shape_.items_per_product - 1)));
+        }
+        req = fsm_page("Browser", "Item", "item", {Value{item}});
+        break;
+      }
+      default:
+        req = fsm_page(
+            "Browser", "Search", "search",
+            {Value{std::string{kKeywords[static_cast<std::size_t>(rng.uniform_int(0, 4))]}}});
+        break;
+    }
+    scratch.w0 = static_cast<std::uint64_t>(category);
+    scratch.w1 = static_cast<std::uint64_t>(product);
+    return req;
+  }
+
+  const char* pattern() const override { return "Browser"; }
+
+ private:
+  Shape shape_;
+  std::optional<workload::ZipfSampler> zipf_;
+};
+
+/// Table 3 as an FSM: the account lands in scratch.w0 and the item in
+/// scratch.w1 at step 0 (BuyerScript draws them at construction).
+class FsmBuyerModel final : public workload::FsmScriptModel {
+ public:
+  FsmBuyerModel(Shape shape, double zipf_s) : shape_(shape) {
+    if (zipf_s > 0.0) {
+      zipf_.emplace(static_cast<std::size_t>(shape.total_items()), zipf_s);
+    }
+  }
+
+  std::optional<workload::PageRequest> next(std::uint32_t step, workload::FsmScratch& scratch,
+                                            workload::SmallRng& rng) const override {
+    if (step == 0) {
+      scratch.w0 = static_cast<std::uint64_t>(rng.uniform_int(1, shape_.accounts));
+      std::int64_t item = 0;
+      if (zipf_) {
+        item = item_for_rank(shape_, zipf_->sample(rng));
+      } else {
+        const std::int64_t cat = rng.uniform_int(1, shape_.categories);
+        const std::int64_t prod = shape_.product_id(
+            cat, static_cast<int>(rng.uniform_int(0, shape_.products_per_category - 1)));
+        item = shape_.item_id(
+            prod, static_cast<int>(rng.uniform_int(0, shape_.items_per_product - 1)));
+      }
+      scratch.w1 = static_cast<std::uint64_t>(item);
+    }
+    const auto account = static_cast<std::int64_t>(scratch.w0);
+    const auto item = static_cast<std::int64_t>(scratch.w1);
+    switch (step) {
+      case 0: return fsm_page("Buyer", "Main", "main", {});
+      case 1: return fsm_page("Buyer", "Signin", "signin", {});
+      case 2: return fsm_page("Buyer", "Verify Signin", "verifysignin", {Value{account}});
+      case 3: return fsm_page("Buyer", "Shopping Cart", "cart", {Value{item}});
+      case 4: return fsm_page("Buyer", "Checkout", "checkout", {});
+      case 5: return fsm_page("Buyer", "Place Order", "placeorder", {});
+      case 6: return fsm_page("Buyer", "Billing", "billing", {});
+      case 7:
+        return fsm_page("Buyer", "Commit Order", "commitorder", {Value{account}, Value{item}});
+      case 8: return fsm_page("Buyer", "Signout", "signout", {});
+      default: return std::nullopt;
+    }
+  }
+
+  const char* pattern() const override { return "Buyer"; }
+
+ private:
+  Shape shape_;
+  std::optional<workload::ZipfSampler> zipf_;
+};
+
 }  // namespace
 
 workload::SessionFactory PetStoreApp::browser_factory(sim::RngStream rng) const {
@@ -480,6 +631,16 @@ workload::SessionFactory PetStoreApp::buyer_factory(sim::RngStream rng) const {
   };
 }
 
+std::shared_ptr<const workload::FsmScriptModel> PetStoreApp::fsm_browser_model(
+    double zipf_s) const {
+  return std::make_shared<FsmBrowserModel>(shape_, zipf_s);
+}
+
+std::shared_ptr<const workload::FsmScriptModel> PetStoreApp::fsm_buyer_model(
+    double zipf_s) const {
+  return std::make_shared<FsmBuyerModel>(shape_, zipf_s);
+}
+
 AppDriver PetStoreApp::driver() const {
   AppDriver d;
   d.name = "Pet Store";
@@ -489,6 +650,8 @@ AppDriver PetStoreApp::driver() const {
   d.bind_entities = [this](comp::Runtime& rt) { bind_entities(rt); };
   d.browser_factory = [this](sim::RngStream rng) { return browser_factory(std::move(rng)); };
   d.writer_factory = [this](sim::RngStream rng) { return buyer_factory(std::move(rng)); };
+  d.fsm_browser_model = [this](double zipf_s) { return fsm_browser_model(zipf_s); };
+  d.fsm_writer_model = [this](double zipf_s) { return fsm_buyer_model(zipf_s); };
   d.table_pages = table_pages();
   d.writer_pattern = "Buyer";
   d.db_colocated = false;  // Oracle on its own workstation, same LAN (§3.1)

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -357,13 +358,12 @@ sim::Task<void> Experiment::metrics_sampler(sim::SimTime end) {
   }
 }
 
-void Experiment::run() {
+void Experiment::start_coroutine_load(sim::SimTime end) {
   loadgen_ = std::make_unique<workload::LoadGenerator>(sim_, *this, collector_, spec_.loadgen);
 
   sim::RngStream root = sim_.rng().fork("workload");
   const double per_group =
       spec_.total_request_rate / static_cast<double>(1 + nodes_.remote_clients.size());
-  const sim::SimTime end = sim::SimTime::origin() + spec_.duration;
 
   auto start_group = [&](net::NodeId client, stats::ClientGroup group, const std::string& tag) {
     workload::ClientGroupSpec s;
@@ -392,6 +392,83 @@ void Experiment::run() {
     sim::Simulator::DomainScope in_domain(sim_, domain_of(nodes_.remote_clients[i]));
     start_group(nodes_.remote_clients[i], stats::ClientGroup::kRemote,
                 "remote-" + std::to_string(i));
+  }
+}
+
+void Experiment::start_fsm_load(sim::SimTime end) {
+  if (!driver_.fsm_browser_model || !driver_.fsm_writer_model) {
+    throw std::invalid_argument("Experiment: fsm_load.enabled but the '" + driver_.name +
+                                "' driver provides no FSM script models");
+  }
+  if (spec_.open_loop_arrivals) {
+    throw std::invalid_argument(
+        "Experiment: fsm_load is mutually exclusive with open_loop_arrivals — express the "
+        "arrival process as fsm_load.arrivals (a RateEnvelope) instead");
+  }
+  const std::shared_ptr<const workload::FsmScriptModel> browser =
+      driver_.fsm_browser_model(spec_.fsm_load.zipf_s);
+  const std::shared_ptr<const workload::FsmScriptModel> writer =
+      driver_.fsm_writer_model(spec_.fsm_load.zipf_s);
+  const auto group_count = static_cast<double>(1 + nodes_.remote_clients.size());
+  const double per_group = spec_.total_request_rate / group_count;
+
+  auto start_group = [&](net::NodeId client, stats::ClientGroup group, const std::string& tag) {
+    workload::SessionFsmEngine::Config cfg;
+    cfg.think_time = spec_.loadgen.think_time;
+    cfg.between_sessions = spec_.loadgen.between_sessions;
+    cfg.calendar_quantum = spec_.fsm_load.calendar_quantum;
+    auto engine = std::make_unique<workload::SessionFsmEngine>(sim_, *this, collector_, cfg);
+    const std::uint8_t b = engine->add_kind(browser, client, group);
+    const std::uint8_t w = engine->add_kind(writer, client, group);
+    const std::uint64_t bseed = workload::SmallRng::named_seed(spec_.seed, tag + "-browser");
+    const std::uint64_t wseed = workload::SmallRng::named_seed(spec_.seed, tag + "-writer");
+    if (!spec_.fsm_load.arrivals.empty()) {
+      // The envelope is the combined session-arrival rate: split evenly
+      // across groups, then browser/writer by the spec mix.
+      const double share = 1.0 / group_count;
+      engine->start_arrivals(
+          b, spec_.fsm_load.arrivals.scaled(share * spec_.browser_fraction), end, bseed);
+      engine->start_arrivals(
+          w, spec_.fsm_load.arrivals.scaled(share * (1.0 - spec_.browser_fraction)), end,
+          wseed);
+    } else {
+      // Closed-loop population, sized like the coroutine driver (and split
+      // with the same total-conserving rule).
+      std::size_t total = spec_.fsm_load.sessions_per_group;
+      workload::LoadGenerator::ClientSplit split;
+      if (total == 0) {
+        split = workload::LoadGenerator::split_clients(per_group, spec_.browser_fraction,
+                                                       spec_.loadgen.think_time);
+      } else {
+        auto browsers = static_cast<std::size_t>(
+            std::llround(static_cast<double>(total) * spec_.browser_fraction));
+        browsers = std::min(browsers, total);
+        split.browsers = static_cast<int>(browsers);
+        split.writers = static_cast<int>(total - browsers);
+      }
+      engine->start_population(b, static_cast<std::size_t>(split.browsers), end, bseed);
+      engine->start_population(w, static_cast<std::size_t>(split.writers), end, wseed);
+    }
+    fsm_engines_.push_back(std::move(engine));
+  };
+
+  {
+    sim::Simulator::DomainScope in_domain(sim_, domain_of(nodes_.local_clients));
+    start_group(nodes_.local_clients, stats::ClientGroup::kLocal, "fsm-local");
+  }
+  for (std::size_t i = 0; i < nodes_.remote_clients.size(); ++i) {
+    sim::Simulator::DomainScope in_domain(sim_, domain_of(nodes_.remote_clients[i]));
+    start_group(nodes_.remote_clients[i], stats::ClientGroup::kRemote,
+                "fsm-remote-" + std::to_string(i));
+  }
+}
+
+void Experiment::run() {
+  const sim::SimTime end = sim::SimTime::origin() + spec_.duration;
+  if (spec_.fsm_load.enabled) {
+    start_fsm_load(end);
+  } else {
+    start_coroutine_load(end);
   }
 
   if (metrics_window_ > sim::Duration::zero()) {

@@ -23,7 +23,9 @@
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "stats/collector.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/loadgen.hpp"
+#include "workload/session_fsm.hpp"
 
 namespace mutsvc::core {
 
@@ -38,6 +40,29 @@ struct ShardConfig {
   /// paper's behaviour) publishes one batch per transaction; positive
   /// flushes one merged batch per shard topic per quantum.
   sim::Duration coalesce_quantum = sim::Duration::zero();
+};
+
+/// Million-session FSM load engine configuration (DESIGN §16). Opt-in: the
+/// paper ladder keeps the per-session coroutine driver; enabling this
+/// replaces it with 40-byte session records in a flat arena, so one trial
+/// can hold millions of concurrent sessions.
+struct FsmLoadSpec {
+  bool enabled = false;
+  /// Closed-loop population per client group. 0 derives the paper sizing
+  /// round(rate_per_group * think_time), like the coroutine driver.
+  std::size_t sessions_per_group = 0;
+  /// When non-empty, sessions *arrive* instead: the envelope is the
+  /// combined session-arrival rate (nonhomogeneous Poisson), split evenly
+  /// across client groups and browser/writer by browser_fraction; each
+  /// arriving session runs one script and leaves. Diurnal curves and
+  /// flash-crowd steps come from the RateEnvelope factories.
+  workload::RateEnvelope arrivals;
+  /// Zipf exponent for item popularity inside the scripts (0 = the paper's
+  /// uniform catalog use). Positive values concentrate traffic on the few
+  /// hottest items — and therefore on one hot shard of the sharded tier.
+  double zipf_s = 0.0;
+  /// Calendar bucket width of the engine's due-time calendar.
+  sim::Duration calendar_quantum = sim::ms(100);
 };
 
 /// Run parameters (§3.3): one hour of combined 30 req/s load from an 80/20
@@ -81,6 +106,10 @@ struct ExperimentSpec {
   /// load then stays up when the service saturates — the regime overload
   /// protection exists for. Default keeps §3.3's closed loop.
   bool open_loop_arrivals = false;
+
+  /// Million-session FSM load engine (DESIGN §16); mutually exclusive with
+  /// open_loop_arrivals (the FSM engine has its own arrival layer).
+  FsmLoadSpec fsm_load;
 
   /// Conservative parallel execution of this single trial (DESIGN §15):
   /// the testbed's LAN islands become lookahead domains that execute in
@@ -169,8 +198,9 @@ class Experiment final : public workload::RequestExecutor {
   // --- admission accounting -------------------------------------------------
   // Counted at execute() entry, so the identity
   //   pages_started == requests_admitted + rejected_admission
-  // holds exactly at any instant (requests_issued counts completions and
-  // can momentarily trail it by the in-flight pages).
+  // holds exactly at any instant. The drivers count requests at the same
+  // moment they hand the page to execute(), so pages_started ==
+  // requests_issued as well.
   [[nodiscard]] std::uint64_t pages_started() const {
     return requests_admitted() + rejected_admission();
   }
@@ -188,12 +218,49 @@ class Experiment final : public workload::RequestExecutor {
     collector_.set_observer(std::move(obs));
   }
 
-  /// Page requests the load generator issued (counted at completion). The
-  /// conservation identity — issued == recorded samples + failures +
-  /// discarded warm-up samples — holds exactly at run end; the shard
-  /// property battery asserts it across the config ladder.
+  /// Page requests the active driver issued, counted at issue time (the
+  /// documented end-of-run rule: nothing issues at or after end_at, and a
+  /// completion landing after end_at records whenever the simulation runs
+  /// it). The conservation identity — issued == recorded samples +
+  /// failures + rejections + discarded warm-up samples + in-flight — holds
+  /// exactly at any instant; the shard property battery asserts it across
+  /// the config ladder.
   [[nodiscard]] std::uint64_t requests_issued() const {
-    return loadgen_ ? loadgen_->requests_issued() : 0;
+    std::uint64_t n = loadgen_ ? loadgen_->requests_issued() : 0;
+    for (const auto& e : fsm_engines_) n += e->requests_issued();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t requests_completed() const {
+    std::uint64_t n = loadgen_ ? loadgen_->requests_completed() : 0;
+    for (const auto& e : fsm_engines_) n += e->requests_completed();
+    return n;
+  }
+  /// Issued before end_at but still awaiting a response (truncated runs
+  /// leave these permanently in flight).
+  [[nodiscard]] std::uint64_t requests_in_flight() const {
+    return requests_issued() - requests_completed();
+  }
+  [[nodiscard]] std::uint64_t sessions_started() const {
+    std::uint64_t n = loadgen_ ? loadgen_->sessions_started() : 0;
+    for (const auto& e : fsm_engines_) n += e->sessions_started();
+    return n;
+  }
+
+  // --- FSM load engine observability (empty unless fsm_load.enabled) -------
+  [[nodiscard]] std::size_t fsm_live_sessions() const {
+    std::size_t n = 0;
+    for (const auto& e : fsm_engines_) n += e->live_sessions();
+    return n;
+  }
+  [[nodiscard]] std::size_t fsm_peak_live_sessions() const {
+    std::size_t n = 0;
+    for (const auto& e : fsm_engines_) n += e->peak_live_sessions();
+    return n;
+  }
+  [[nodiscard]] std::size_t fsm_arena_bytes() const {
+    std::size_t n = 0;
+    for (const auto& e : fsm_engines_) n += e->arena_bytes();
+    return n;
   }
 
   /// Issues one page request with full trace collection: the sink receives
@@ -210,6 +277,11 @@ class Experiment final : public workload::RequestExecutor {
   /// (or the windowed mode) on the kernel. Must run before any component
   /// schedules an event, so it is called before the Runtime is built.
   void setup_parallel_domains(const comp::DeploymentPlan& plan);
+
+  /// Builds the per-group coroutine load (the paper's driver) for run().
+  void start_coroutine_load(sim::SimTime end);
+  /// Builds one SessionFsmEngine per client group (fsm_load.enabled).
+  void start_fsm_load(sim::SimTime end);
 
   [[nodiscard]] sim::FifoResource& thread_pool(net::NodeId server);
 
@@ -235,6 +307,9 @@ class Experiment final : public workload::RequestExecutor {
   std::unique_ptr<net::FaultInjector> faults_;
   stats::ResponseTimeCollector collector_;
   std::unique_ptr<workload::LoadGenerator> loadgen_;
+  /// One FSM engine per client group (fsm_load.enabled), each living in its
+  /// group's lookahead domain.
+  std::vector<std::unique_ptr<workload::SessionFsmEngine>> fsm_engines_;
   std::map<net::NodeId, std::unique_ptr<sim::FifoResource>> thread_pools_;
   /// One admission bucket per entry node (lazily created; empty unless the
   /// flow config enables admission control).

@@ -1,18 +1,39 @@
 #include "workload/loadgen.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mutsvc::workload {
 
+LoadGenerator::ClientSplit LoadGenerator::split_clients(double requests_per_second,
+                                                        double browser_fraction,
+                                                        sim::Duration think_time) {
+  // Open-loop sizing: each client issues ~1/think_time requests per second,
+  // so the group needs round(rate*think_time) concurrent clients in total.
+  // Round the total first, then carve the browser share out of it — see
+  // the ClientSplit doc for why the shares are not rounded independently.
+  const double think_s = think_time.as_seconds();
+  ClientSplit split;
+  int total = static_cast<int>(std::lround(requests_per_second * think_s));
+  if (total < 1 && requests_per_second > 0.0) total = 1;
+  if (total == 1) {
+    // A single client goes to whichever kind holds the majority share.
+    split.browsers = browser_fraction >= 0.5 ? 1 : 0;
+  } else {
+    split.browsers = static_cast<int>(
+        std::lround(requests_per_second * browser_fraction * think_s));
+    split.browsers = std::clamp(split.browsers, 0, total);
+  }
+  split.writers = total - split.browsers;
+  return split;
+}
+
 void LoadGenerator::start_group(const ClientGroupSpec& spec, sim::SimTime end_at,
                                 sim::RngStream rng) {
-  // Open-loop sizing: each client issues ~1/think_time requests per second,
-  // so the group needs rate*think_time concurrent clients.
-  const double think_s = cfg_.think_time.as_seconds();
-  const auto browsers = static_cast<int>(
-      std::lround(spec.requests_per_second * spec.browser_fraction * think_s));
-  const auto writers = static_cast<int>(
-      std::lround(spec.requests_per_second * (1.0 - spec.browser_fraction) * think_s));
+  const ClientSplit split =
+      split_clients(spec.requests_per_second, spec.browser_fraction, cfg_.think_time);
+  const int browsers = split.browsers;
+  const int writers = split.writers;
 
   for (int i = 0; i < browsers; ++i) {
     sim_.spawn(run_client(spec, /*is_browser=*/true, end_at,
@@ -31,7 +52,7 @@ void LoadGenerator::start_open_group(const ClientGroupSpec& spec, sim::SimTime e
 
 void LoadGenerator::record_outcome(const ClientGroupSpec& spec, const PageRequest& req,
                                    RequestOutcome outcome, sim::Duration response_time) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
   // The collector's histograms are shared, order-sensitive state: stage the
   // record as a sequenced effect. Sequentially it runs inline right here;
   // under parallel domains it replays at the window barrier in
@@ -65,6 +86,7 @@ sim::Task<void> LoadGenerator::run_client(ClientGroupSpec spec, bool is_browser,
     while (auto req = script->next()) {
       if (sim_.now() >= end_at) co_return;
       const sim::SimTime start = sim_.now();
+      requests_.fetch_add(1, std::memory_order_relaxed);  // counted at issue time
       const RequestOutcome out = co_await executor_.execute(spec.client_node, *req);
       const sim::Duration response_time = sim_.now() - start;
       record_outcome(spec, *req, out, response_time);
@@ -79,6 +101,7 @@ sim::Task<void> LoadGenerator::run_client(ClientGroupSpec spec, bool is_browser,
 
 sim::Task<void> LoadGenerator::issue_one(ClientGroupSpec spec, PageRequest req) {
   const sim::SimTime start = sim_.now();
+  requests_.fetch_add(1, std::memory_order_relaxed);  // counted at issue time
   const RequestOutcome out = co_await executor_.execute(spec.client_node, req);
   record_outcome(spec, req, out, sim_.now() - start);
 }
@@ -91,20 +114,34 @@ sim::Task<void> LoadGenerator::run_open_arrivals(ClientGroupSpec spec, sim::SimT
   // that kind's next page, starting a fresh session when the script ends.
   std::unique_ptr<SessionScript> browser;
   std::unique_ptr<SessionScript> writer;
+  bool browser_sterile = false;
+  bool writer_sterile = false;
   while (true) {
     co_await sim_.wait(rng.exponential(mean_gap));
     if (sim_.now() >= end_at) co_return;
     const bool is_browser = rng.bernoulli(spec.browser_fraction);
+    if (is_browser ? browser_sterile : writer_sterile) continue;
     std::unique_ptr<SessionScript>& script = is_browser ? browser : writer;
     std::optional<PageRequest> req = script ? script->next() : std::nullopt;
     if (!req) {
-      script = is_browser ? spec.browser_factory() : spec.writer_factory();
+      std::unique_ptr<SessionScript> fresh =
+          is_browser ? spec.browser_factory() : spec.writer_factory();
+      req = fresh->next();
+      if (!req) {
+        // The factory yields empty scripts: mark the kind sterile once,
+        // instead of re-creating (and counting) a session on every later
+        // arrival of this kind. A session only counts once its script
+        // proves non-empty.
+        (is_browser ? browser_sterile : writer_sterile) = true;
+        if (browser_sterile && writer_sterile) co_return;
+        continue;
+      }
       sessions_.fetch_add(1, std::memory_order_relaxed);
-      req = script->next();
-      if (!req) continue;  // empty script: nothing to issue for this kind
+      script = std::move(fresh);
     }
-    // Open loop: fire and move on — do not await the response. Requests
-    // in flight at end_at simply never complete (and are never counted).
+    // Open loop: fire and move on — do not await the response. A request
+    // in flight at end_at is already counted (issue-time counting) and its
+    // outcome is recorded whenever the simulation runs the completion.
     sim_.spawn(issue_one(spec, std::move(*req)));
   }
 }

@@ -52,12 +52,33 @@ struct LoadGenConfig {
 
 /// Open-loop client driver implementing §3.3.
 ///
-/// Each group runs `ceil(rate * think_time)` concurrent clients; a client
+/// Each group runs `round(rate * think_time)` concurrent clients; a client
 /// repeatedly executes sessions, waiting `DELAY - response_time` (clamped
 /// at zero) after each request — the paper's soft delay, which keeps the
 /// offered load steady regardless of response times.
+///
+/// End-of-run rule (shared with SessionFsmEngine): requests are counted
+/// when they are *issued*; no request is issued at or after `end_at`, and
+/// a response landing after `end_at` is recorded whenever the simulation
+/// runs it — in both the closed-loop and open-loop drivers. At any instant
+/// `requests_issued() == requests_completed() + requests_in_flight()`.
 class LoadGenerator {
  public:
+  /// How start_group splits a group's client fleet between the two session
+  /// kinds. The *total* is rounded first and the writer share is carved out
+  /// of it (writers = total - browsers): rounding the two shares
+  /// independently can drift from round(rate * think) and lets a low-rate
+  /// group round to zero clients and silently offer no load — any positive
+  /// rate gets at least one client.
+  struct ClientSplit {
+    int browsers = 0;
+    int writers = 0;
+    [[nodiscard]] int total() const { return browsers + writers; }
+  };
+  [[nodiscard]] static ClientSplit split_clients(double requests_per_second,
+                                                double browser_fraction,
+                                                sim::Duration think_time);
+
   LoadGenerator(sim::Simulator& sim, RequestExecutor& executor,
                 stats::ResponseTimeCollector& collector, LoadGenConfig cfg = {})
       : sim_(sim), executor_(executor), collector_(collector), cfg_(cfg) {}
@@ -77,9 +98,21 @@ class LoadGenerator {
   /// construction.
   void start_open_group(const ClientGroupSpec& spec, sim::SimTime end_at, sim::RngStream rng);
 
+  /// Page requests handed to the executor, counted at issue time.
   [[nodiscard]] std::uint64_t requests_issued() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Requests whose outcome has been recorded.
+  [[nodiscard]] std::uint64_t requests_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// Issued but not yet completed — nonzero at end_at when responses are
+  /// still on the wire (those requests stay counted as issued).
+  [[nodiscard]] std::uint64_t requests_in_flight() const {
+    return requests_issued() - requests_completed();
+  }
+  /// Sessions that issued at least one request (a factory yielding an empty
+  /// script is never counted).
   [[nodiscard]] std::uint64_t sessions_started() const {
     return sessions_.load(std::memory_order_relaxed);
   }
@@ -99,6 +132,7 @@ class LoadGenerator {
   LoadGenConfig cfg_;
   // Commutative sums in relaxed atomics — safe from any lookahead domain.
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> sessions_{0};
 };
 

@@ -2,7 +2,7 @@
 // bounded queues, WAN shaping and backpressure wired through the full
 // experiment harness. Asserts the conservation identities
 //   pages_started == requests_admitted + rejected_admission
-//   issued == samples + failures + rejections + discarded
+//   issued == samples + failures + rejections + discarded + in_flight
 // across the config ladder × overflow policies × fault plans, that kBounce
 // rides the page-retry machinery, that a disabled (and a merely-enabled)
 // flow config leaves the trajectory bit-identical, and that flow-enabled
@@ -36,14 +36,18 @@ static_assert(std::is_base_of_v<net::NetError, net::OverloadError>,
 void assert_conservation(Experiment& exp, const std::string& tag) {
   const auto& r = exp.results();
   EXPECT_EQ(exp.pages_started(), exp.requests_admitted() + exp.rejected_admission()) << tag;
-  EXPECT_EQ(exp.requests_issued(),
-            r.total_samples() + r.failures() + r.rejections() + r.discarded_samples())
+  // End-of-run rule: requests count at issue time, and a truncated run
+  // leaves the tail permanently in flight — every issued request is either
+  // recorded (sample/failure/rejection/warm-up discard) or still in flight.
+  EXPECT_EQ(exp.requests_issued(), r.total_samples() + r.failures() + r.rejections() +
+                                       r.discarded_samples() + exp.requests_in_flight())
       << tag << ": issued=" << exp.requests_issued() << " samples=" << r.total_samples()
       << " failures=" << r.failures() << " rejections=" << r.rejections()
-      << " discarded=" << r.discarded_samples();
-  // Completions never exceed entries (in-flight pages at run end are
-  // entered but never counted as issued).
-  EXPECT_LE(exp.requests_issued(), exp.pages_started()) << tag;
+      << " discarded=" << r.discarded_samples()
+      << " in_flight=" << exp.requests_in_flight();
+  // Drivers count issued the instant they hand the page to execute(), and
+  // execute() counts admitted/rejected before its first suspension.
+  EXPECT_EQ(exp.requests_issued(), exp.pages_started()) << tag;
 }
 
 // --- Admission control -------------------------------------------------------

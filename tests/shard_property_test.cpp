@@ -279,6 +279,8 @@ TEST_P(ConservationLadder, IssuedEqualsCompletedPlusFailed) {
   // warm-up observation. Sharding and coalescing must not create or lose
   // requests anywhere on the ladder. Specs are randomized from a fixed
   // seed so each ladder rung exercises a different (seed, rate, duration).
+  // (The end-of-run rule counts requests at issue time, so the tail a
+  // truncated run leaves awaiting responses shows up as in_flight.)
   const ConservationCase& c = GetParam();
   sim::RngStream rng = sim::RngStream{0xC0817ULL}.fork(c.name);
 
@@ -297,10 +299,11 @@ TEST_P(ConservationLadder, IssuedEqualsCompletedPlusFailed) {
   const auto& r = exp.results();
   EXPECT_GT(exp.requests_issued(), 0u);
   EXPECT_EQ(exp.requests_issued(),
-            r.total_samples() + r.failures() + r.discarded_samples())
+            r.total_samples() + r.failures() + r.discarded_samples() + exp.requests_in_flight())
       << c.name << ": issued=" << exp.requests_issued()
       << " samples=" << r.total_samples() << " failures=" << r.failures()
-      << " discarded=" << r.discarded_samples();
+      << " discarded=" << r.discarded_samples()
+      << " in_flight=" << exp.requests_in_flight();
   // Fault-free ladder runs complete every request.
   EXPECT_EQ(r.failures(), 0u);
   EXPECT_EQ(exp.dropped_requests(), 0u);
@@ -332,7 +335,7 @@ TEST(ConservationRubisTest, HoldsForRubisUnderShardsAndCoalescing) {
   const auto& r = exp.results();
   EXPECT_GT(exp.requests_issued(), 0u);
   EXPECT_EQ(exp.requests_issued(),
-            r.total_samples() + r.failures() + r.discarded_samples());
+            r.total_samples() + r.failures() + r.discarded_samples() + exp.requests_in_flight());
   EXPECT_TRUE(exp.runtime().updates_quiescent());
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 
 #include "sim/simulator.hpp"
@@ -180,6 +181,134 @@ INSTANTIATE_TEST_SUITE_P(Rates, LoadRateSweep,
                                            std::make_tuple(10.0, 7.0),
                                            std::make_tuple(20.0, 5.0),
                                            std::make_tuple(30.0, 10.0)));
+
+// --- Regression: client-split rounding (ISSUE 9 bugfix 1) --------------------
+// start_group used to round browsers and writers independently, which could
+// drop or invent a client (round(r*f*T) + round(r*(1-f)*T) != round(r*T))
+// and left low-rate groups with zero clients.
+
+TEST(ClientSplitTest, TotalIsConservedAcrossRatesAndMixes) {
+  const double rates[] = {0.05, 0.3, 1.5, 2.9, 6.0, 10.0, 30.0, 80.0};
+  const double fractions[] = {0.0, 0.2, 0.5, 0.8, 0.95, 1.0};
+  const double thinks[] = {4.0, 5.0, 7.0, 10.0};
+  for (double rate : rates) {
+    for (double f : fractions) {
+      for (double think_s : thinks) {
+        const auto split =
+            LoadGenerator::split_clients(rate, f, Duration::seconds(think_s));
+        const long rounded = std::lround(rate * think_s);
+        const int expected_total = static_cast<int>(rounded < 1 ? 1 : rounded);
+        EXPECT_EQ(split.total(), expected_total)
+            << "rate=" << rate << " f=" << f << " think=" << think_s;
+        EXPECT_GE(split.browsers, 0);
+        EXPECT_GE(split.writers, 0);
+        // The browser share lands within one client of its exact value.
+        EXPECT_LE(std::abs(split.browsers - rate * f * think_s), 1.0)
+            << "rate=" << rate << " f=" << f << " think=" << think_s;
+      }
+    }
+  }
+}
+
+TEST(ClientSplitTest, HalfRoundingDoesNotInventAClient) {
+  // rate*think = 10.5 and both shares at *.25: independent rounding gave
+  // 5 + 5 = 10 against a total of 11.
+  const auto split = LoadGenerator::split_clients(1.5, 0.5, sec(7));
+  EXPECT_EQ(split.total(), 11);
+  EXPECT_EQ(split.browsers, 5);
+  EXPECT_EQ(split.writers, 6);
+}
+
+TEST(ClientSplitTest, TrickleRateGroupStillIssuesRequests) {
+  // rate*think = 0.35 rounded both kinds to zero clients: a configured
+  // group silently produced no load at all.
+  LoadWorld w;
+  FakeExecutor exec{w.sim, ms(10)};
+  LoadGenConfig cfg;
+  cfg.think_time = sec(7);
+  LoadGenerator gen{w.sim, exec, w.collector, cfg};
+  gen.start_group(w.spec(0.05, 0.5), sim::SimTime::origin() + sec(100), w.sim.rng().fork("g"));
+  w.sim.run_until();
+  EXPECT_GT(exec.requests_, 0u) << "a group with rate > 0 must field at least one client";
+  EXPECT_EQ(gen.requests_issued(), exec.requests_);
+}
+
+// --- Regression: empty scripts in the open-loop driver (ISSUE 9 bugfix 2) ----
+// run_open_arrivals used to create (and count) a fresh session on *every*
+// arrival when a factory yields empty scripts, inflating sessions_started
+// without ever issuing a request.
+
+class EmptySession final : public SessionScript {
+ public:
+  std::optional<PageRequest> next() override { return std::nullopt; }
+  const char* pattern() const override { return "Empty"; }
+};
+
+SessionFactory empty_factory() {
+  return [] { return std::make_unique<EmptySession>(); };
+}
+
+TEST(OpenLoopTest, EmptyScriptsAreNeverCountedAsSessions) {
+  LoadWorld w;
+  FakeExecutor exec{w.sim, ms(10)};
+  LoadGenerator gen{w.sim, exec, w.collector, {}};
+  ClientGroupSpec s = w.spec(20.0, 0.5);
+  s.browser_factory = empty_factory();
+  s.writer_factory = empty_factory();
+  gen.start_open_group(s, sim::SimTime::origin() + sec(60), w.sim.rng().fork("g"));
+  w.sim.run_until();
+  EXPECT_EQ(gen.sessions_started(), 0u)
+      << "an empty script proves nothing started; ~1200 arrivals must not count";
+  EXPECT_EQ(gen.requests_issued(), 0u);
+  EXPECT_TRUE(w.sim.idle());
+}
+
+TEST(OpenLoopTest, OneSterileKindLeavesTheOtherRunning) {
+  LoadWorld w;
+  FakeExecutor exec{w.sim, ms(10)};
+  LoadGenerator gen{w.sim, exec, w.collector, {}};
+  ClientGroupSpec s = w.spec(10.0, 0.5);
+  s.browser_factory = empty_factory();  // writers stay productive
+  gen.start_open_group(s, sim::SimTime::origin() + sec(120), w.sim.rng().fork("g"));
+  w.sim.run_until();
+  EXPECT_GT(gen.sessions_started(), 0u);
+  EXPECT_EQ(exec.patterns_["Browser"], 0);
+  EXPECT_GT(exec.patterns_["Writer"], 0);
+  // Every counted session produced at least one request.
+  EXPECT_LE(gen.sessions_started(), gen.requests_issued());
+}
+
+// --- Regression: the end-of-run window rule (ISSUE 9 bugfix 3) ---------------
+// Requests count at issue time; nothing issues at or after end_at; a
+// completion landing after end_at records whenever the simulation runs it.
+// requests_ used to be bumped at completion, so a truncated run undercounted
+// by exactly the in-flight tail.
+
+TEST(EndOfRunTest, IssueTimeCountingExposesTheInFlightTail) {
+  LoadWorld w;
+  FakeExecutor slow{w.sim, sec(60)};  // responses land far past end_at
+  LoadGenConfig cfg;
+  cfg.think_time = sec(5);
+  cfg.between_sessions = Duration::zero();
+  LoadGenerator gen{w.sim, slow, w.collector, cfg};
+  const sim::SimTime end = sim::SimTime::origin() + sec(30);
+  // rate*think = 10 clients; each issues exactly one request before end.
+  gen.start_group(w.spec(2.0, 1.0), end, w.sim.rng().fork("g"));
+
+  w.sim.run_until(end);
+  EXPECT_EQ(gen.requests_issued(), 10u) << "issue-time counting sees the in-flight requests";
+  EXPECT_EQ(gen.requests_completed(), 0u);
+  EXPECT_EQ(gen.requests_in_flight(), 10u);
+  EXPECT_EQ(w.collector.total_samples() + w.collector.discarded_samples(), 0u);
+
+  // Draining past end_at records every completion without issuing anything
+  // new: issued == completed once the tail lands.
+  w.sim.run_until();
+  EXPECT_EQ(gen.requests_issued(), 10u);
+  EXPECT_EQ(gen.requests_completed(), 10u);
+  EXPECT_EQ(gen.requests_in_flight(), 0u);
+  EXPECT_EQ(w.collector.total_samples() + w.collector.discarded_samples(), 10u);
+}
 
 }  // namespace
 }  // namespace mutsvc::workload
