@@ -1,9 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "db/value.hpp"
@@ -88,6 +90,18 @@ class QueryCache {
     pushes_applied_ = 0;
     invalidations_ = 0;
     stale_pushes_rejected_ = 0;
+  }
+
+  /// Key-sorted export of every entry, for migration state transfer (see
+  /// ReadOnlyCache::snapshot for the determinism rationale).
+  [[nodiscard]] std::vector<std::pair<std::string, Entry>> snapshot() const {
+    std::vector<std::pair<std::string, Entry>> out;
+    out.reserve(entries_.size());
+    // Sorted below, so iteration order cannot leak.  // simlint:allow(unordered-iter)
+    for (const auto& [key, entry] : entries_) out.emplace_back(key, entry);
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
   }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }

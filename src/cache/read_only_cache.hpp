@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "db/value.hpp"
 #include "sim/time.hpp"
@@ -109,6 +112,20 @@ class ReadOnlyCache {
     stale_fills_rejected_ = 0;
     stale_pushes_rejected_ = 0;
     timeout_invalidations_ = 0;
+  }
+
+  /// Key-sorted export of every entry, for migration state transfer. The
+  /// sort makes the snapshot independent of unordered_map iteration order,
+  /// so transfer traffic is bit-identical across runs and STL
+  /// implementations.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, Entry>> snapshot() const {
+    std::vector<std::pair<std::int64_t, Entry>> out;
+    out.reserve(entries_.size());
+    // Sorted below, so iteration order cannot leak.  // simlint:allow(unordered-iter)
+    for (const auto& [pk, entry] : entries_) out.emplace_back(pk, entry);
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
   }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }

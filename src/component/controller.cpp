@@ -1,0 +1,136 @@
+#include "component/controller.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mutsvc::comp {
+
+std::vector<PlacementAction> EdgeShiftPolicy::decide(const PlacementSnapshot& snap) {
+  std::uint64_t total = 0;
+  std::uint64_t holder_pages = 0;
+  net::NodeId hottest{};
+  std::uint64_t hottest_pages = 0;
+  bool have_hottest = false;
+  for (const auto& [edge, pages] : snap.edge_pages) {
+    total += pages;
+    if (edge == snap.replica_holder) holder_pages = pages;
+    // Strict > keeps ties resolved by edge_pages order — deterministic.
+    if (!have_hottest || pages > hottest_pages) {
+      hottest = edge;
+      hottest_pages = pages;
+      have_hottest = true;
+    }
+  }
+  if (total == 0 || !have_hottest || hottest == snap.replica_holder) {
+    streak_ = 0;
+    return {};
+  }
+  const double hot_share = static_cast<double>(hottest_pages) / static_cast<double>(total);
+  const double holder_share = static_cast<double>(holder_pages) / static_cast<double>(total);
+  if (hot_share >= cfg_.high_share && holder_share <= cfg_.low_share) {
+    if (hottest == candidate_) {
+      ++streak_;
+    } else {
+      candidate_ = hottest;
+      streak_ = 1;
+    }
+    if (streak_ >= cfg_.confirm_quanta) {
+      streak_ = 0;
+      PlacementAction act;
+      act.kind = PlacementAction::Kind::kMigrateReplicaSet;
+      act.from = snap.replica_holder;
+      act.to = hottest;
+      return {act};
+    }
+  } else {
+    streak_ = 0;
+  }
+  return {};
+}
+
+PlacementController::PlacementController(sim::Simulator& sim, Runtime& runtime,
+                                         BindingTable& bindings, MigrationManager& migrator,
+                                         const PlacementConfig& cfg)
+    : sim_(sim),
+      runtime_(runtime),
+      bindings_(bindings),
+      migrator_(migrator),
+      quantum_(cfg.quantum),
+      canary_fraction_(cfg.canary_fraction),
+      entities_(cfg.entities),
+      components_(cfg.components),
+      move_query_cache_(cfg.move_query_cache),
+      policy_(cfg.policy ? cfg.policy() : nullptr) {
+  if (quantum_ <= sim::Duration::zero()) {
+    throw std::invalid_argument("PlacementController: quantum must be positive");
+  }
+  holder_ = initial_holder();
+}
+
+net::NodeId PlacementController::initial_holder() const {
+  const DeploymentPlan& plan = runtime_.plan();
+  if (!entities_.empty()) {
+    for (net::NodeId edge : plan.edge_servers()) {
+      if (plan.has_ro_replica(entities_.front(), edge)) return edge;
+    }
+  } else if (!components_.empty()) {
+    for (net::NodeId n : plan.nodes_of(components_.front())) {
+      for (net::NodeId edge : plan.edge_servers()) {
+        if (n == edge) return edge;
+      }
+    }
+  }
+  return plan.main_server();
+}
+
+void PlacementController::start(sim::SimTime end) {
+  if (started_ || policy_ == nullptr) return;
+  started_ = true;
+  sim_.spawn(loop(end));
+}
+
+sim::Task<void> PlacementController::loop(sim::SimTime end) {
+  while (true) {
+    co_await sim_.wait(quantum_);
+    if (sim_.now() > end) co_return;
+    // A running migration (including its forwarding epoch) owns placement;
+    // skip the evaluation entirely so its quantum's deltas fold into the
+    // next one rather than being dropped.
+    if (migrator_.in_progress()) continue;
+    PlacementSnapshot snap;
+    snap.now = sim_.now();
+    snap.replica_holder = holder_;
+    snap.evaluations = evaluations_;
+    for (net::NodeId edge : runtime_.plan().edge_servers()) {
+      const std::uint64_t now_pages =
+          runtime_.metrics(edge).counter(kEntryPagesCounter);
+      const std::uint64_t prev = last_pages_[edge];
+      snap.edge_pages.emplace_back(edge, now_pages - prev);
+      last_pages_[edge] = now_pages;
+    }
+    ++evaluations_;
+    std::vector<PlacementAction> acts = policy_->decide(snap);
+    for (const PlacementAction& act : acts) {
+      if (act.kind == PlacementAction::Kind::kHold) continue;
+      MigrationRequest req;
+      req.from = act.from;
+      req.to = act.to;
+      req.components = components_;
+      req.entities = entities_;
+      req.move_query_cache = move_query_cache_;
+      req.canary_fraction = canary_fraction_;
+      ActionRecord rec;
+      rec.at = sim_.now();
+      rec.action = act;
+      rec.completed = co_await migrator_.migrate(std::move(req));
+      rec.binding_version = bindings_.max_version();
+      if (rec.completed) {
+        holder_ = act.to;
+        ++migrations_completed_;
+      }
+      actions_.push_back(rec);
+    }
+  }
+}
+
+}  // namespace mutsvc::comp

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "component/binding.hpp"
+#include "component/migration.hpp"
+#include "component/runtime.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mutsvc::comp {
+
+/// What the controller shows a policy each evaluation quantum: per-edge
+/// entry-page deltas read from the per-node metrics registries, plus the
+/// controller's own placement state.
+struct PlacementSnapshot {
+  sim::SimTime now;
+  /// (edge server, pages entered during the last quantum), in the plan's
+  /// edge_servers() order — deterministic.
+  std::vector<std::pair<net::NodeId, std::uint64_t>> edge_pages;
+  /// Edge currently holding the migratable replica set (main server when
+  /// no edge holds it).
+  net::NodeId replica_holder;
+  std::uint64_t evaluations = 0;
+};
+
+/// One action a policy asks for. kHold actions are ignored.
+struct PlacementAction {
+  enum class Kind : std::uint8_t { kHold, kMigrateReplicaSet };
+  Kind kind = Kind::kHold;
+  net::NodeId from;
+  net::NodeId to;
+};
+
+/// A placement policy: a deterministic pure-ish function from snapshots to
+/// actions (it may keep internal hysteresis state, but must not read clocks
+/// or RNGs of its own). Fresh instances are built per Experiment via the
+/// PlacementConfig factory, so sweep-slot reuse can never leak one trial's
+/// hysteresis into the next.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  [[nodiscard]] virtual std::vector<PlacementAction> decide(const PlacementSnapshot& snap) = 0;
+};
+
+/// Threshold + hysteresis policy over entry-page shares: when some edge
+/// carries at least `high_share` of the pages while the current holder has
+/// fallen to `low_share` or below, sustained for `confirm_quanta`
+/// consecutive evaluations, migrate the replica set to the hot edge.
+class EdgeShiftPolicy final : public PlacementPolicy {
+ public:
+  struct Config {
+    double high_share = 0.6;
+    double low_share = 0.4;
+    int confirm_quanta = 2;
+  };
+
+  explicit EdgeShiftPolicy(Config cfg) : cfg_(cfg) {}
+  EdgeShiftPolicy() : EdgeShiftPolicy(Config{}) {}
+
+  [[nodiscard]] std::vector<PlacementAction> decide(const PlacementSnapshot& snap) override;
+
+ private:
+  Config cfg_;
+  net::NodeId candidate_{};
+  int streak_ = 0;
+};
+
+/// Runtime-placement configuration carried by ExperimentSpec. Off by
+/// default; a disabled config constructs nothing — the run is byte-identical
+/// to the static-placement harness. Enabled with a null policy factory, the
+/// binding table is installed and consulted on every dispatch but no
+/// controller loop is spawned: still zero events, still byte-identical
+/// (golden-enforced).
+struct PlacementConfig {
+  bool enabled = false;
+  /// Controller evaluation quantum.
+  sim::Duration quantum = sim::sec(10);
+  /// Builds the policy; null = observe-only (no controller loop).
+  std::function<std::unique_ptr<PlacementPolicy>()> policy;
+  /// Canary fraction applied to controller-issued migrations (0 = direct
+  /// flip).
+  double canary_fraction = 0.0;
+  /// Entities whose replica set controller migrations move.
+  std::vector<std::string> entities;
+  /// Components whose bindings controller migrations flip.
+  std::vector<std::string> components;
+  /// Move the edge query cache with the replica set.
+  bool move_query_cache = false;
+  /// Migration protocol knobs (forward epoch, notify delay, drain poll,
+  /// canary hold).
+  MigrationConfig migration;
+};
+
+/// Deterministic placement controller (DESIGN §17): on a fixed evaluation
+/// quantum, reads per-edge entry-page counters from the per-node metrics
+/// registries, hands a snapshot to the policy, and executes the actions it
+/// returns through the MigrationManager. Evaluations are skipped while a
+/// migration (including its forwarding epoch) is still running. Every
+/// executed action is appended to a deterministic action log the benches
+/// fingerprint for bit-identity.
+class PlacementController {
+ public:
+  struct ActionRecord {
+    sim::SimTime at;
+    PlacementAction action;
+    bool completed = false;
+    std::uint64_t binding_version = 0;
+  };
+
+  PlacementController(sim::Simulator& sim, Runtime& runtime, BindingTable& bindings,
+                      MigrationManager& migrator, const PlacementConfig& cfg);
+
+  PlacementController(const PlacementController&) = delete;
+  PlacementController& operator=(const PlacementController&) = delete;
+
+  /// Spawns the controller loop; evaluations run every quantum until `end`.
+  void start(sim::SimTime end);
+
+  [[nodiscard]] const std::vector<ActionRecord>& actions() const { return actions_; }
+  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+  [[nodiscard]] std::uint64_t migrations_completed() const { return migrations_completed_; }
+  [[nodiscard]] net::NodeId replica_holder() const { return holder_; }
+
+  /// Metrics-registry counter the harness bumps per admitted page, and the
+  /// controller reads per quantum.
+  static constexpr const char* kEntryPagesCounter = "placement.entry_pages";
+
+ private:
+  [[nodiscard]] sim::Task<void> loop(sim::SimTime end);
+  [[nodiscard]] net::NodeId initial_holder() const;
+
+  sim::Simulator& sim_;
+  Runtime& runtime_;
+  BindingTable& bindings_;
+  MigrationManager& migrator_;
+  sim::Duration quantum_;
+  double canary_fraction_;
+  std::vector<std::string> entities_;
+  std::vector<std::string> components_;
+  bool move_query_cache_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  net::NodeId holder_;
+  std::map<net::NodeId, std::uint64_t> last_pages_;
+  std::vector<ActionRecord> actions_;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t migrations_completed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mutsvc::comp

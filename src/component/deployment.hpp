@@ -120,6 +120,15 @@ class DeploymentPlan {
     ro_replicas_[entity].insert(node);
   }
 
+  /// Removes a node from an entity's replica set (live-migration
+  /// retirement / rollback). No-op if absent.
+  void remove_ro_replica(const std::string& entity, net::NodeId node) {
+    auto it = ro_replicas_.find(entity);
+    if (it == ro_replicas_.end()) return;
+    it->second.erase(node);
+    if (it->second.empty()) ro_replicas_.erase(it);
+  }
+
   [[nodiscard]] bool has_ro_replica(const std::string& entity, net::NodeId node) const {
     auto it = ro_replicas_.find(entity);
     return it != ro_replicas_.end() && it->second.contains(node);
@@ -137,6 +146,9 @@ class DeploymentPlan {
 
   // --- query caches (§4.4) ----------------------------------------------------
   void add_query_cache(net::NodeId node) { query_cache_nodes_.insert(node); }
+  /// Removes a node's query cache from the plan (live-migration retirement
+  /// / rollback). No-op if absent.
+  void remove_query_cache(net::NodeId node) { query_cache_nodes_.erase(node); }
   [[nodiscard]] bool has_query_cache(net::NodeId node) const {
     return query_cache_nodes_.contains(node);
   }

@@ -1,0 +1,150 @@
+#include "component/migration.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/flowcontrol.hpp"
+
+namespace mutsvc::comp {
+
+MigrationManager::MigrationManager(sim::Simulator& sim, Runtime& runtime,
+                                   BindingTable& bindings, MigrationConfig cfg)
+    : sim_(sim), runtime_(runtime), bindings_(bindings), cfg_(cfg) {
+  if (cfg_.notify_delay >= cfg_.forward_epoch) {
+    // Forwarding terminates because every stale view converges before the
+    // old site stops forwarding; an epoch shorter than the visibility lag
+    // would strand post-epoch stragglers.
+    throw std::invalid_argument(
+        "MigrationManager: notify_delay must be shorter than forward_epoch");
+  }
+  if (cfg_.drain_poll <= sim::Duration::zero()) {
+    throw std::invalid_argument("MigrationManager: drain_poll must be positive");
+  }
+  bindings_.set_forward_epoch(cfg_.forward_epoch);
+}
+
+sim::Task<void> MigrationManager::quiesce(const std::vector<std::string>& components) {
+  // Close every gate first, then drain: closing up front stops new work on
+  // all migrating components before any drain wait begins.
+  for (const std::string& comp : components) runtime_.component_gate(comp).close_gate();
+  for (const std::string& comp : components) {
+    while (runtime_.component_in_flight(comp) > 0) co_await sim_.wait(cfg_.drain_poll);
+  }
+}
+
+void MigrationManager::reopen(const std::vector<std::string>& components) {
+  for (const std::string& comp : components) runtime_.component_gate(comp).open_gate();
+}
+
+sim::Task<bool> MigrationManager::migrate(MigrationRequest req) {
+  if (in_progress_ || req.from == req.to || req.components.empty()) {
+    ++refused_;
+    co_return false;
+  }
+  in_progress_ = true;
+  ++started_;
+  co_await quiesce(req.components);
+
+  // State transfer. The new site joins the plan membership *before* the
+  // snapshot ships: a write committing mid-transfer then pushes to both
+  // sites, and the version-monotonic apply_push arbitrates either arrival
+  // order — the snapshot can never roll back a concurrent push.
+  bool ok = true;
+  const bool moves_state = !req.entities.empty() || req.move_query_cache;
+  // Memberships this migration *added* (vs. ones the target already held).
+  // Rollback must undo only these: stripping a pre-existing membership
+  // would silently de-replicate a healthy site and wipe its warm cache.
+  std::vector<std::string> added_entities;
+  bool added_query_cache = false;
+  if (moves_state) {
+    for (const std::string& entity : req.entities) {
+      if (!runtime_.plan().has_ro_replica(entity, req.to)) {
+        runtime_.plan().replicate_read_only(entity, req.to);
+        added_entities.push_back(entity);
+      }
+    }
+    if (req.move_query_cache && !runtime_.plan().has_query_cache(req.to)) {
+      runtime_.plan().add_query_cache(req.to);
+      added_query_cache = true;
+    }
+    runtime_.ensure_update_subscription(req.to);
+    try {
+      entries_transferred_ += co_await runtime_.transfer_replica_state(
+          req.from, req.to, req.entities, req.move_query_cache);
+    } catch (const net::NetError&) {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    // Rollback: old binding stays authoritative; strip the half-joined new
+    // site and clear any partially transferred entries there, so a later
+    // retry re-transfers from scratch instead of serving a partial
+    // snapshot as fresh. Memberships (and state) the target held *before*
+    // this migration stay untouched — that site is still a live replica
+    // fed by the push protocol.
+    for (const std::string& entity : added_entities) {
+      runtime_.plan().remove_ro_replica(entity, req.to);
+    }
+    if (added_query_cache) runtime_.plan().remove_query_cache(req.to);
+    runtime_.clear_replica_state(req.to, added_entities, added_query_cache);
+    reopen(req.components);
+    ++rolled_back_;
+    in_progress_ = false;
+    co_return false;
+  }
+
+  // Flip: each binding's node set with `from` replaced by `to`.
+  auto target_nodes = [&](const std::string& comp) {
+    const BindingTable::Binding* b = bindings_.find(comp);
+    std::vector<net::NodeId> nodes =
+        (b != nullptr && b->version > 0) ? b->nodes : runtime_.plan().nodes_of(comp);
+    for (net::NodeId& n : nodes) {
+      if (n == req.from) n = req.to;
+    }
+    std::vector<net::NodeId> deduped;
+    for (net::NodeId n : nodes) {
+      bool seen = false;
+      for (net::NodeId d : deduped) seen = seen || d == n;
+      if (!seen) deduped.push_back(n);
+    }
+    return deduped;
+  };
+  const std::vector<net::NodeId> participants{req.from, req.to};
+  if (req.canary_fraction > 0.0) {
+    // Staged rollout: the canary fraction routes to the new site (already a
+    // full replica member) while the rest stay put; gates reopen so live
+    // traffic bakes the canary, then a second quiesce promotes it.
+    for (const std::string& comp : req.components) {
+      bindings_.stage_canary(comp, target_nodes(comp), req.canary_fraction);
+    }
+    reopen(req.components);
+    co_await sim_.wait(cfg_.canary_hold);
+    co_await quiesce(req.components);
+    for (const std::string& comp : req.components) {
+      bindings_.promote_canary(comp, sim_.now(), cfg_.notify_delay, participants);
+    }
+  } else {
+    for (const std::string& comp : req.components) {
+      bindings_.flip(comp, target_nodes(comp), sim_.now(), cfg_.notify_delay, participants);
+    }
+  }
+  reopen(req.components);
+
+  // Forwarding epoch: stale views route to the old site, which forwards to
+  // the new authority (Runtime dispatch path). The migration stays "in
+  // progress" — and the old site stays a replica member, so pushes keep it
+  // fresh for local straggler dispatch — until the epoch expires.
+  co_await sim_.wait(cfg_.forward_epoch);
+  if (moves_state) {
+    for (const std::string& entity : req.entities) {
+      runtime_.plan().remove_ro_replica(entity, req.from);
+    }
+    if (req.move_query_cache) runtime_.plan().remove_query_cache(req.from);
+    runtime_.clear_replica_state(req.from, req.entities, req.move_query_cache);
+  }
+  ++completed_;
+  in_progress_ = false;
+  co_return true;
+}
+
+}  // namespace mutsvc::comp

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "component/binding.hpp"
+#include "component/runtime.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mutsvc::comp {
+
+/// Live-migration protocol knobs (DESIGN §17).
+struct MigrationConfig {
+  /// How long the old site forwards stragglers after a binding flip. Must
+  /// exceed notify_delay so every stale view converges before forwarding
+  /// stops (validated at MigrationManager construction).
+  sim::Duration forward_epoch = sim::sec(5);
+  /// Binding-flip visibility lag for nodes outside the migration.
+  sim::Duration notify_delay = sim::ms(200);
+  /// Poll interval of the in-flight drain loop during quiesce.
+  sim::Duration drain_poll = sim::ms(10);
+  /// Canary bake time before a staged flip promotes to full cutover.
+  sim::Duration canary_hold = sim::sec(10);
+};
+
+/// One migration: move `components`' bindings (and optionally the replica
+/// state serving them) from `from` to `to`.
+struct MigrationRequest {
+  net::NodeId from;
+  net::NodeId to;
+  /// Components whose bindings flip (every placement of `from` in each
+  /// binding's node set is replaced by `to`).
+  std::vector<std::string> components;
+  /// Entities whose read-only replica set moves with the components.
+  std::vector<std::string> entities;
+  /// Move the edge query cache as well.
+  bool move_query_cache = false;
+  /// Staged rollout: canary this fraction of sessions on the new site for
+  /// canary_hold before full cutover. 0 = flip directly.
+  double canary_fraction = 0.0;
+};
+
+/// Executes live component migrations (DESIGN §17):
+///
+///   1. *Quiesce*: close the migrating components' credit gates — new calls
+///      park FIFO at the gate; calls already past it run to completion.
+///   2. *Drain*: poll until the components' in-flight counts reach zero.
+///   3. *Transfer*: the new site first joins the deployment plan's replica
+///      membership, so writes committing during the transfer push to both
+///      sites; then one bulk RMI per entity ships the old site's replica
+///      snapshot, installed through the version-monotonic apply_push. The
+///      monotonic apply arbitrates snapshot-vs-concurrent-push races in
+///      both orders — a mid-migration push can never be rolled back by the
+///      snapshot, and the snapshot never clobbers newer pushed state.
+///   4. *Flip*: bump the binding (optionally staging a canary first; the
+///      canary bakes for canary_hold with gates open, then promotes after
+///      a second quiesce/drain). Gates reopen; parked calls resolve
+///      against the new binding.
+///   5. *Forward*: views that have not converged keep routing to the old
+///      site, whose dispatch path forwards stragglers to the new authority
+///      until forward_epoch expires (termination: notify_delay <
+///      forward_epoch).
+///   6. *Retire*: after the forwarding epoch, the old site leaves the
+///      replica membership and drops the transferred entries.
+///
+/// Rollback: a transfer failing on a network fault reopens the gates with
+/// the old binding untouched, removes the new site's half-joined
+/// memberships, and clears any partially transferred entries at the new
+/// site — a later migration must re-transfer from scratch rather than serve
+/// a stale partial snapshot as fresh.
+///
+/// Migrations are strictly serialized: migrate() refuses (returns false)
+/// while another migration — including its forwarding epoch — is running.
+class MigrationManager {
+ public:
+  MigrationManager(sim::Simulator& sim, Runtime& runtime, BindingTable& bindings,
+                   MigrationConfig cfg);
+
+  MigrationManager(const MigrationManager&) = delete;
+  MigrationManager& operator=(const MigrationManager&) = delete;
+
+  /// Runs one migration end to end (including the forwarding epoch and the
+  /// old site's retirement). Returns true on success, false when refused
+  /// (one already in progress) or rolled back on a fault.
+  [[nodiscard]] sim::Task<bool> migrate(MigrationRequest req);
+
+  [[nodiscard]] bool in_progress() const { return in_progress_; }
+  [[nodiscard]] std::uint64_t started() const { return started_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t rolled_back() const { return rolled_back_; }
+  [[nodiscard]] std::uint64_t refused() const { return refused_; }
+  [[nodiscard]] std::uint64_t entries_transferred() const { return entries_transferred_; }
+  [[nodiscard]] const MigrationConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] sim::Task<void> quiesce(const std::vector<std::string>& components);
+  void reopen(const std::vector<std::string>& components);
+
+  sim::Simulator& sim_;
+  Runtime& runtime_;
+  BindingTable& bindings_;
+  MigrationConfig cfg_;
+  bool in_progress_ = false;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rolled_back_ = 0;
+  std::uint64_t refused_ = 0;
+  std::uint64_t entries_transferred_ = 0;
+};
+
+}  // namespace mutsvc::comp

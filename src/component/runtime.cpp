@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "component/binding.hpp"
 #include "sim/simcheck.hpp"
 #include "sim/simrace.hpp"
 
@@ -40,7 +41,8 @@ std::string qc_state_key(net::NodeId node) {
 
 sim::Task<CallResult> CallContext::call(const std::string& component, const std::string& method,
                                         std::vector<db::Value> args) {
-  return rt_.call_from(node_, component, method, std::move(args), comp_->name(), trace_);
+  return rt_.call_from(node_, component, method, std::move(args), comp_->name(), trace_,
+                       session_key_);
 }
 
 sim::Task<db::QueryResult> CallContext::direct_query(db::Query q) {
@@ -126,6 +128,7 @@ Runtime::Runtime(sim::Simulator& sim, net::Topology& topo, net::Network& net,
         });
       }
     }
+    for (net::NodeId edge : update_targets()) update_subscribers_.insert(edge);
     if (cfg_.coalesce_quantum > sim::Duration::zero()) {
       coalescer_ = std::make_unique<msg::Coalescer<cache::UpdateBatch>>(
           sim_, topics_.size(), cfg_.coalesce_quantum,
@@ -202,6 +205,99 @@ cache::QueryCache& Runtime::query_cache(net::NodeId node) {
 void Runtime::reset_cache_stats() {
   for (auto& [key, cache] : ro_caches_) cache->reset_stats();
   for (auto& [node, qc] : query_caches_) qc->reset_stats();
+  forwarded_calls_ = 0;
+  late_stragglers_ = 0;
+}
+
+net::CreditGate& Runtime::component_gate(const std::string& component) {
+  auto it = component_gates_.find(component);
+  if (it == component_gates_.end()) {
+    it = component_gates_.emplace(component, std::make_unique<net::CreditGate>(sim_)).first;
+  }
+  return *it->second;
+}
+
+net::CreditGate* Runtime::find_component_gate(const std::string& component) {
+  auto it = component_gates_.find(component);
+  return it == component_gates_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t Runtime::component_in_flight(const std::string& component) const {
+  auto it = component_in_flight_.find(component);
+  return it == component_in_flight_.end() ? 0 : it->second;
+}
+
+void Runtime::ensure_update_subscription(net::NodeId node) {
+  if (topics_.empty() || node == plan_.main_server()) return;
+  if (update_subscribers_.contains(node)) return;
+  update_subscribers_.insert(node);
+  for (auto& t : topics_) {
+    t->subscribe(node,
+                 [this, node](const cache::UpdateBatch& batch) { return apply_batch(node, batch); });
+  }
+}
+
+sim::Task<std::uint64_t> Runtime::transfer_replica_state(net::NodeId from, net::NodeId to,
+                                                         std::vector<std::string> entities,
+                                                         bool move_query_cache) {
+  std::uint64_t transferred = 0;
+  for (const std::string& entity : entities) {
+    // Key-sorted snapshot: the transfer's wire bytes and apply order are
+    // independent of unordered_map iteration order.
+    const auto snap = ro_cache(from, entity).snapshot();
+    if (snap.empty()) continue;
+    net::Bytes bytes = 64;
+    for (const auto& [pk, e] : snap) bytes += db::wire_size(e.row) + 16;
+    co_await update_rmi_->call_dynamic(from, to, bytes, [&]() -> sim::Task<net::Bytes> {
+      co_await topo_.node(to).cpu->consume(cfg_.apply_update);
+      // SimRace: the install executes server-side at the destination,
+      // message-ordered after the snapshot read; synchronous below.
+      simrace::NodeScope race_scope(to.value());
+      if (simrace::enabled()) {
+        simrace::on_state_access(to.value(), ro_state_key(to, entity), /*is_write=*/true);
+      }
+      cache::ReadOnlyCache& dst = ro_cache(to, entity);
+      // apply_push, not fill: version-monotonic in both directions — a
+      // concurrent push that already landed at `to` with a newer version
+      // wins over the snapshot entry.
+      for (const auto& [pk, e] : snap) dst.apply_push(pk, e.row, e.version, e.refreshed_at);
+      co_return 16;
+    });
+    transferred += snap.size();
+  }
+  if (move_query_cache) {
+    const auto snap = query_cache(from).snapshot();
+    if (!snap.empty()) {
+      net::Bytes bytes = 64;
+      for (const auto& [key, e] : snap) {
+        bytes += rows_bytes(e.rows) + static_cast<net::Bytes>(key.size());
+      }
+      co_await update_rmi_->call_dynamic(from, to, bytes, [&]() -> sim::Task<net::Bytes> {
+        co_await topo_.node(to).cpu->consume(cfg_.apply_update);
+        simrace::NodeScope race_scope(to.value());
+        if (simrace::enabled()) {
+          simrace::on_state_access(to.value(), qc_state_key(to), /*is_write=*/true);
+        }
+        cache::QueryCache& dst = query_cache(to);
+        for (const auto& [key, e] : snap) dst.apply_push(key, e.rows, e.version);
+        co_return 16;
+      });
+      transferred += snap.size();
+    }
+  }
+  co_return transferred;
+}
+
+void Runtime::clear_replica_state(net::NodeId node, const std::vector<std::string>& entities,
+                                  bool move_query_cache) {
+  for (const std::string& entity : entities) {
+    auto it = ro_caches_.find(std::make_pair(node, entity));  // simlint:allow(cross-node-state) — migration retirement/rollback clears the named node's own replica
+    if (it != ro_caches_.end()) it->second->invalidate_all();
+  }
+  if (move_query_cache) {
+    auto it = query_caches_.find(node);  // simlint:allow(cross-node-state) — migration retirement/rollback clears the named node's own replica
+    if (it != query_caches_.end()) it->second->clear();
+  }
 }
 
 void Runtime::sample_metrics(sim::SimTime now, sim::Duration window) {
@@ -274,6 +370,12 @@ void Runtime::sample_metrics(sim::SimTime now, sim::Duration window) {
   m.set_counter("runtime.queued_writes_applied", queued_writes_applied_);
   m.set_counter("runtime.queued_writes_dropped", queued_writes_dropped_);
   m.set_counter("runtime.cache_rewarms", cache_rewarms_);
+  if (bindings_ != nullptr) {
+    m.set_counter("placement.forwarded_calls", forwarded_calls_);
+    m.set_counter("placement.late_stragglers", late_stragglers_);
+    m.set_counter("placement.binding_flips", bindings_->flips());
+    m.set_gauge("placement.max_binding_version", static_cast<double>(bindings_->max_version()));
+  }
   // Replica staleness vs. the plan's TACT bound: the observed mean version
   // lag should stay at 0 under blocking push and within the bound under
   // async updates.
@@ -363,24 +465,69 @@ net::Bytes Runtime::rows_bytes(const std::vector<db::Row>& rows) {
 
 sim::Task<CallResult> Runtime::invoke(net::NodeId caller_node, const std::string& component,
                                       const std::string& method, std::vector<db::Value> args,
-                                      TraceSink* trace) {
-  return call_from(caller_node, component, method, std::move(args), "__client__", trace);
+                                      TraceSink* trace, std::uint64_t session_key) {
+  return call_from(caller_node, component, method, std::move(args), "__client__", trace,
+                   session_key);
 }
 
 sim::Task<CallResult> Runtime::call_from(net::NodeId caller, std::string comp_name,
                                          std::string method_name, std::vector<db::Value> args,
-                                         std::string caller_component, TraceSink* trace) {
+                                         std::string caller_component, TraceSink* trace,
+                                         std::uint64_t session_key) {
   const ComponentDef& comp = app_.component(comp_name);
   const MethodDef& method = comp.find_method(method_name);
   record_interaction(caller_component, comp_name, method.args_bytes + method.result_bytes);
-  const net::NodeId target = plan_.resolve(comp_name, caller);
+
+  // In-flight accounting for migration drains; released when the coroutine
+  // frame unwinds (normal return or exception). Counted only while a
+  // binding table is installed.
+  struct InFlight {
+    std::uint64_t* n = nullptr;
+    ~InFlight() {
+      if (n != nullptr) --*n;
+    }
+  } in_flight;
+
+  net::NodeId target;
+  if (bindings_ == nullptr) {
+    target = plan_.resolve(comp_name, caller);
+  } else {
+    if (net::CreditGate* gate = find_component_gate(comp_name)) {
+      // Deadlock avoidance: a call tree already past a migrating
+      // component's gate must run to completion (the drain waits on it); a
+      // nested call between migrating components therefore bypasses the
+      // gate. Only fresh entry into the migration set parks.
+      net::CreditGate* caller_gate = find_component_gate(caller_component);
+      const bool inside_migration = caller_gate != nullptr && !caller_gate->open();
+      if (!inside_migration) co_await gate->wait();
+    }
+    std::uint64_t& n = component_in_flight_[comp_name];
+    ++n;
+    in_flight.n = &n;
+    target = bindings_->resolve(comp_name, caller, sim_.now(), session_key);
+  }
+
+  // Straggler detection: a stale view may have routed this call to the old
+  // site; the old site forwards to the converged authority.
+  net::NodeId exec = target;
+  if (bindings_ != nullptr) {
+    const net::NodeId authority = bindings_->authoritative(comp_name, target);
+    if (authority != target) {
+      if (bindings_->in_forward_epoch(comp_name, sim_.now())) {
+        ++forwarded_calls_;
+      } else {
+        ++late_stragglers_;
+      }
+      exec = authority;
+    }
+  }
 
   CallResult out;
-  if (target == caller) {
+  if (target == caller && exec == target) {
     const sim::SimTime c0 = sim_.now();
     co_await topo_.node(caller).cpu->consume(cfg_.local_dispatch);
     if (trace) trace->add(SpanKind::kCpu, sim_.now() - c0);
-    co_await dispatch(caller, comp, method, std::move(args), &out.rows, trace);
+    co_await dispatch(caller, comp, method, std::move(args), &out.rows, trace, session_key);
     co_return out;
   }
 
@@ -396,13 +543,41 @@ sim::Task<CallResult> Runtime::call_from(net::NodeId caller, std::string comp_na
     co_await rmi_.stub_exchange(caller, target, trace);
   }
 
+  const net::Bytes args_size = method.args_bytes + values_bytes(args);
+  if (target == caller) {
+    // The caller's own stale view dispatched locally to the retired site:
+    // one forwarding RMI straight to the new authority.
+    co_await rmi_.call_dynamic(
+        caller, exec,
+        args_size,
+        [&]() -> sim::Task<net::Bytes> {
+          co_await dispatch(exec, comp, method, std::move(args), &out.rows, trace, session_key);
+          co_return method.result_bytes + rows_bytes(out.rows);
+        },
+        trace);
+    co_return out;
+  }
+
   // The transport owns the wire span + exclusive rmi-wire accounting; the
   // dispatched body opens child spans of its own.
-  const net::Bytes args_size = method.args_bytes + values_bytes(args);
   co_await rmi_.call_dynamic(
       caller, target, args_size,
       [&]() -> sim::Task<net::Bytes> {
-        co_await dispatch(target, comp, method, std::move(args), &out.rows, trace);
+        if (exec != target) {
+          // Straggler forwarding: the old site relays the call to the new
+          // authority with a second RMI hop, paying the real double-hop
+          // cost of a not-yet-converged view.
+          co_await rmi_.call_dynamic(
+              target, exec, args_size,
+              [&]() -> sim::Task<net::Bytes> {
+                co_await dispatch(exec, comp, method, std::move(args), &out.rows, trace,
+                                  session_key);
+                co_return method.result_bytes + rows_bytes(out.rows);
+              },
+              trace);
+        } else {
+          co_await dispatch(target, comp, method, std::move(args), &out.rows, trace, session_key);
+        }
         co_return method.result_bytes + rows_bytes(out.rows);
       },
       trace);
@@ -411,7 +586,8 @@ sim::Task<CallResult> Runtime::call_from(net::NodeId caller, std::string comp_na
 
 sim::Task<void> Runtime::dispatch(net::NodeId node, const ComponentDef& comp,
                                   const MethodDef& method, std::vector<db::Value> args,
-                                  std::vector<db::Row>* out, TraceSink* trace) {
+                                  std::vector<db::Row>* out, TraceSink* trace,
+                                  std::uint64_t session_key) {
   {
     const sim::SimTime c0 = sim_.now();
     co_await topo_.node(node).cpu->consume(method.cpu);
@@ -434,6 +610,7 @@ sim::Task<void> Runtime::dispatch(net::NodeId node, const ComponentDef& comp,
   if (method.body) {
     CallContext ctx{*this, node, comp, method, std::move(args)};
     ctx.trace_ = trace;
+    ctx.session_key_ = session_key;
     try {
       co_await method.body(ctx);
       co_await commit_transaction(ctx);

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -61,6 +62,7 @@ struct CallResult {
 };
 
 class Runtime;
+class BindingTable;
 
 /// The view a running method body has of its container (the "EJB context").
 class CallContext {
@@ -80,6 +82,11 @@ class CallContext {
   /// The request's trace sink (null when tracing is off). Nested calls
   /// inherit it automatically.
   [[nodiscard]] TraceSink* trace() const { return trace_; }
+
+  /// The originating session's routing key (0 when the caller has none).
+  /// Nested calls inherit it, so canary binding decisions are sticky across
+  /// a whole call tree.
+  [[nodiscard]] std::uint64_t session_key() const { return session_key_; }
 
   [[nodiscard]] std::size_t arg_count() const { return args_.size(); }
   [[nodiscard]] const db::Value& arg(std::size_t i) const {
@@ -161,6 +168,7 @@ class CallContext {
   const MethodDef* method_;
   std::vector<db::Value> args_;
   TraceSink* trace_ = nullptr;
+  std::uint64_t session_key_ = 0;
 
   // Transaction state: writes made by this method body. All of them commit
   // together when the body finishes — one update batch per transaction,
@@ -188,7 +196,8 @@ class Runtime {
                                              const std::string& component,
                                              const std::string& method,
                                              std::vector<db::Value> args = {},
-                                             TraceSink* trace = nullptr);
+                                             TraceSink* trace = nullptr,
+                                             std::uint64_t session_key = 0);
 
   /// Variadic convenience (see CallContext::call).
   template <class A0, class... A>
@@ -326,6 +335,55 @@ class Runtime {
     return true;
   }
 
+  // --- runtime placement (DESIGN §17) --------------------------------------
+  /// Installs (or removes, with null) the versioned runtime binding table.
+  /// With a table installed, every dispatch resolves the callee's location
+  /// through it instead of the static plan; an empty table resolves with
+  /// exactly the plan's rule, so installation alone is byte-identical
+  /// (golden-enforced).
+  void set_binding_table(const BindingTable* bindings) { bindings_ = bindings; }
+  [[nodiscard]] const BindingTable* binding_table() const { return bindings_; }
+
+  /// The migration quiesce gate for `component` (created open on first
+  /// use). The dispatch path only consults gates that already exist, so a
+  /// run that never migrates never allocates one.
+  [[nodiscard]] net::CreditGate& component_gate(const std::string& component);
+  [[nodiscard]] net::CreditGate* find_component_gate(const std::string& component);
+
+  /// Calls for `component` currently past the quiesce gate and not yet
+  /// completed (counted only while a binding table is installed).
+  [[nodiscard]] std::uint64_t component_in_flight(const std::string& component) const;
+
+  /// Subscribes `node` to every update topic unless it already is (the
+  /// constructor subscribes the initial update targets). Used when a
+  /// migration adds a replica site after construction; removed members are
+  /// handled by apply_batch's membership checks, so nodes never
+  /// unsubscribe.
+  void ensure_update_subscription(net::NodeId node);
+
+  /// Ships `from`'s replica entries for `entities` (and its query cache,
+  /// when `move_query_cache`) to `to` — one bulk RMI per cache on the
+  /// update transport, installed through the version-monotonic apply_push
+  /// so the snapshot can never roll back a concurrent push. Returns the
+  /// number of entries shipped.
+  [[nodiscard]] sim::Task<std::uint64_t> transfer_replica_state(net::NodeId from, net::NodeId to,
+                                                                std::vector<std::string> entities,
+                                                                bool move_query_cache);
+
+  /// Drops `node`'s replica entries for `entities` (and its query cache
+  /// entries, when `move_query_cache`). Migration retirement / rollback;
+  /// find-only, so it never creates caches at `node`.
+  void clear_replica_state(net::NodeId node, const std::vector<std::string>& entities,
+                           bool move_query_cache);
+
+  /// Stragglers the old site forwarded to the new authority during a
+  /// forwarding epoch.
+  [[nodiscard]] std::uint64_t forwarded_calls() const { return forwarded_calls_; }
+  /// Non-authoritative arrivals after the forwarding epoch expired (still
+  /// forwarded — correctness over protocol purity — but counted separately;
+  /// the property battery asserts this stays zero).
+  [[nodiscard]] std::uint64_t late_stragglers() const { return late_stragglers_; }
+
   /// True when every queued degraded-mode write has been applied (or
   /// dropped after exhausting redelivery, or terminally shed by a bounded
   /// write queue under the kDrop overflow policy).
@@ -411,7 +469,8 @@ class Runtime {
   [[nodiscard]] sim::Task<CallResult> call_from(net::NodeId caller, std::string component,
                                                 std::string method, std::vector<db::Value> args,
                                                 std::string caller_component = "__client__",
-                                                TraceSink* trace = nullptr);
+                                                TraceSink* trace = nullptr,
+                                                std::uint64_t session_key = 0);
 
   void record_interaction(const std::string& caller, const std::string& callee, net::Bytes bytes,
                           bool is_write = false) {
@@ -426,7 +485,8 @@ class Runtime {
 
   [[nodiscard]] sim::Task<void> dispatch(net::NodeId node, const ComponentDef& comp,
                                          const MethodDef& method, std::vector<db::Value> args,
-                                         std::vector<db::Row>* out, TraceSink* trace);
+                                         std::vector<db::Row>* out, TraceSink* trace,
+                                         std::uint64_t session_key = 0);
 
   [[nodiscard]] sim::Task<std::optional<db::Row>> read_entity_impl(net::NodeId node,
                                                                    std::string entity,
@@ -538,6 +598,16 @@ class Runtime {
   std::vector<InteractionProfile> profiles_;
   mutable InteractionProfile merged_profile_;
   std::map<net::NodeId, stats::MetricsRegistry> metrics_;
+
+  // Runtime placement (DESIGN §17). All null/empty unless the experiment
+  // installs a binding table; every placement branch in the hot path is
+  // `bindings_ != nullptr`-gated, so a disabled run is bit-identical.
+  const BindingTable* bindings_ = nullptr;
+  std::map<std::string, std::unique_ptr<net::CreditGate>> component_gates_;
+  std::map<std::string, std::uint64_t> component_in_flight_;
+  std::set<net::NodeId> update_subscribers_;
+  std::uint64_t forwarded_calls_ = 0;
+  std::uint64_t late_stragglers_ = 0;
 
   // Domain discipline for the plain counters below: the push/publish ones
   // are only written from the main server's domain; the degradation ones

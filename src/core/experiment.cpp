@@ -69,6 +69,20 @@ Experiment::Experiment(const apps::AppDriver& driver, ExperimentSpec spec,
   runtime_ = std::make_unique<comp::Runtime>(sim_, topo_, net_, rmi_, *db_, *driver_.app,
                                              std::move(plan), runtime_config_for(cal_, spec_));
   driver_.bind_entities(*runtime_);
+  if (spec_.placement.enabled) {
+    // Versioned runtime bindings + live migration + controller (DESIGN
+    // §17). The policy is built fresh per Experiment through the config's
+    // factory, so a sweep slot reusing one spec can never leak a previous
+    // trial's bindings or hysteresis state into the next trial.
+    bindings_ = std::make_unique<comp::BindingTable>(runtime_->plan());
+    runtime_->set_binding_table(bindings_.get());
+    migrator_ = std::make_unique<comp::MigrationManager>(sim_, *runtime_, *bindings_,
+                                                         spec_.placement.migration);
+    if (spec_.placement.policy) {
+      controller_ = std::make_unique<comp::PlacementController>(sim_, *runtime_, *bindings_,
+                                                                *migrator_, spec_.placement);
+    }
+  }
   // Freeze the lazily-created per-server thread pools before traffic flows:
   // entry handlers on different islands would otherwise race to create map
   // entries. Creation costs no simulated time, so sequential runs are
@@ -156,6 +170,9 @@ void Experiment::setup_parallel_domains(const comp::DeploymentPlan& plan) {
       blocked = "admission control (entry buckets are created on first use)";
     } else if (cal_.http.keep_alive) {
       blocked = "HTTP keep-alive (connection reuse state spans client domains)";
+    } else if (spec_.placement.enabled) {
+      blocked = "runtime placement (bindings, quiesce gates and cache state migrate across "
+                "domains)";
     }
     if (blocked != nullptr) {
       if (spec_.parallel_domains >= 1) {
@@ -245,6 +262,12 @@ sim::Task<workload::RequestOutcome> Experiment::execute(net::NodeId client_node,
     }
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  if (spec_.placement.enabled) {
+    // The controller's load signal: pages entering at this server. A plain
+    // registry counter — no events, so enabling placement without a policy
+    // stays byte-identical.
+    runtime_->metrics(server).inc(comp::PlacementController::kEntryPagesCounter);
+  }
   const int max_page_retries = spec_.resilience.enabled ? spec_.resilience.http_retries : 0;
   for (int attempt = 0;;) {
     enum class Outcome { kOk, kUnreachable, kFailed };
@@ -308,7 +331,7 @@ sim::Task<void> Experiment::execute_at(net::NodeId client_node, net::NodeId serv
                            try {
                              (void)co_await runtime_->invoke(server, request.component,
                                                              request.method, request.args,
-                                                             trace);
+                                                             trace, request.session_key);
                            } catch (...) {
                              pool.release();
                              throw;
@@ -412,17 +435,32 @@ void Experiment::start_fsm_load(sim::SimTime end) {
   const auto group_count = static_cast<double>(1 + nodes_.remote_clients.size());
   const double per_group = spec_.total_request_rate / group_count;
 
-  auto start_group = [&](net::NodeId client, stats::ClientGroup group, const std::string& tag) {
+  auto start_group = [&](std::size_t gi, net::NodeId client, stats::ClientGroup group,
+                         const std::string& tag) {
     workload::SessionFsmEngine::Config cfg;
     cfg.think_time = spec_.loadgen.think_time;
     cfg.between_sessions = spec_.loadgen.between_sessions;
     cfg.calendar_quantum = spec_.fsm_load.calendar_quantum;
+    // Per-group salt for the sticky session routing keys — pure function of
+    // (seed, tag), no RNG draw.
+    cfg.session_salt = workload::SmallRng::named_seed(spec_.seed, tag + "-key");
     auto engine = std::make_unique<workload::SessionFsmEngine>(sim_, *this, collector_, cfg);
     const std::uint8_t b = engine->add_kind(browser, client, group);
     const std::uint8_t w = engine->add_kind(writer, client, group);
     const std::uint64_t bseed = workload::SmallRng::named_seed(spec_.seed, tag + "-browser");
     const std::uint64_t wseed = workload::SmallRng::named_seed(spec_.seed, tag + "-writer");
-    if (!spec_.fsm_load.arrivals.empty()) {
+    // A group-specific envelope (diurnal antiphase across sites) overrides
+    // the even split of the shared envelope; it is this group's whole
+    // session-arrival rate, split only browser/writer.
+    const workload::RateEnvelope* per_group_env =
+        gi < spec_.fsm_load.group_arrivals.size() && !spec_.fsm_load.group_arrivals[gi].empty()
+            ? &spec_.fsm_load.group_arrivals[gi]
+            : nullptr;
+    if (per_group_env != nullptr) {
+      engine->start_arrivals(b, per_group_env->scaled(spec_.browser_fraction), end, bseed);
+      engine->start_arrivals(w, per_group_env->scaled(1.0 - spec_.browser_fraction), end,
+                             wseed);
+    } else if (!spec_.fsm_load.arrivals.empty()) {
       // The envelope is the combined session-arrival rate: split evenly
       // across groups, then browser/writer by the spec mix.
       const double share = 1.0 / group_count;
@@ -454,11 +492,11 @@ void Experiment::start_fsm_load(sim::SimTime end) {
 
   {
     sim::Simulator::DomainScope in_domain(sim_, domain_of(nodes_.local_clients));
-    start_group(nodes_.local_clients, stats::ClientGroup::kLocal, "fsm-local");
+    start_group(0, nodes_.local_clients, stats::ClientGroup::kLocal, "fsm-local");
   }
   for (std::size_t i = 0; i < nodes_.remote_clients.size(); ++i) {
     sim::Simulator::DomainScope in_domain(sim_, domain_of(nodes_.remote_clients[i]));
-    start_group(nodes_.remote_clients[i], stats::ClientGroup::kRemote,
+    start_group(i + 1, nodes_.remote_clients[i], stats::ClientGroup::kRemote,
                 "fsm-remote-" + std::to_string(i));
   }
 }
@@ -474,6 +512,7 @@ void Experiment::run() {
   if (metrics_window_ > sim::Duration::zero()) {
     sim_.spawn(metrics_sampler(end));
   }
+  if (controller_ != nullptr) controller_->start(end);
 
   // Utilization accounting starts after warm-up, like the measurements.
   // One reset event per node, in the node's own domain — a node's CPU

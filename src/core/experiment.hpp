@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "apps/common/driver.hpp"
+#include "component/binding.hpp"
+#include "component/controller.hpp"
+#include "component/migration.hpp"
 #include "component/runtime.hpp"
 #include "core/calibration.hpp"
 #include "core/design_rules.hpp"
@@ -57,6 +60,12 @@ struct FsmLoadSpec {
   /// arriving session runs one script and leaves. Diurnal curves and
   /// flash-crowd steps come from the RateEnvelope factories.
   workload::RateEnvelope arrivals;
+  /// Per-client-group arrival envelopes, overriding the even split of
+  /// `arrivals`: index 0 is the local group, 1 and 2 the remote groups (in
+  /// TestbedNodes order). Groups beyond the vector fall back to the shared
+  /// `arrivals` split. Lets a diurnal bench put antiphase day/night curves
+  /// on different sites (see RateEnvelope::shifted).
+  std::vector<workload::RateEnvelope> group_arrivals;
   /// Zipf exponent for item popularity inside the scripts (0 = the paper's
   /// uniform catalog use). Positive values concentrate traffic on the few
   /// hottest items — and therefore on one hot shard of the sharded tier.
@@ -111,6 +120,14 @@ struct ExperimentSpec {
   /// open_loop_arrivals (the FSM engine has its own arrival layer).
   FsmLoadSpec fsm_load;
 
+  /// Runtime placement: versioned component bindings, live migration, and
+  /// the deterministic placement controller (DESIGN §17). Off by default —
+  /// a disabled config constructs nothing and the run is byte-identical to
+  /// the static-placement harness; enabled with no policy installs the
+  /// binding table but spawns no controller (still byte-identical,
+  /// golden-enforced).
+  comp::PlacementConfig placement;
+
   /// Conservative parallel execution of this single trial (DESIGN §15):
   /// the testbed's LAN islands become lookahead domains that execute in
   /// lock-step windows one certified WAN latency wide. -1 (default) reads
@@ -152,6 +169,11 @@ class Experiment final : public workload::RequestExecutor {
     return runtime_->metrics(node);
   }
   [[nodiscard]] comp::Runtime& runtime() { return *runtime_; }
+  /// Null unless spec.placement.enabled.
+  [[nodiscard]] comp::BindingTable* bindings() { return bindings_.get(); }
+  [[nodiscard]] comp::MigrationManager* migrator() { return migrator_.get(); }
+  /// Null unless spec.placement.enabled with a policy installed.
+  [[nodiscard]] comp::PlacementController* placement_controller() { return controller_.get(); }
   [[nodiscard]] const TestbedNodes& nodes() const { return nodes_; }
   [[nodiscard]] net::Network& network() { return net_; }
   [[nodiscard]] net::RmiTransport& rmi() { return rmi_; }
@@ -304,6 +326,12 @@ class Experiment final : public workload::RequestExecutor {
   net::RmiTransport rmi_;
   std::unique_ptr<db::Database> db_;
   std::unique_ptr<comp::Runtime> runtime_;
+  // Runtime placement (all null when spec.placement is disabled). Declared
+  // after runtime_: they hold references into it and must be destroyed
+  // first.
+  std::unique_ptr<comp::BindingTable> bindings_;
+  std::unique_ptr<comp::MigrationManager> migrator_;
+  std::unique_ptr<comp::PlacementController> controller_;
   std::unique_ptr<net::FaultInjector> faults_;
   stats::ResponseTimeCollector collector_;
   std::unique_ptr<workload::LoadGenerator> loadgen_;

@@ -119,6 +119,32 @@ RateEnvelope RateEnvelope::scaled(double k) const {
   return RateEnvelope{std::move(s), period_};
 }
 
+RateEnvelope RateEnvelope::shifted(sim::Duration phase) const {
+  if (steps_.empty()) return {};
+  if (!periodic()) {
+    throw std::invalid_argument("RateEnvelope::shifted: periodic envelopes only");
+  }
+  const std::int64_t p = period_.count_micros();
+  // Normalize into [0, p): shifting by the period (or zero) is the identity.
+  const std::int64_t shift = ((phase.count_micros() % p) + p) % p;
+  if (shift == 0) return *this;
+  std::vector<RateStep> s;
+  s.reserve(steps_.size() + 1);
+  for (const RateStep& step : steps_) {
+    const std::int64_t at = (step.offset.count_micros() + shift) % p;
+    s.push_back({sim::Duration::micros(at), step.rate_per_sec});
+  }
+  std::sort(s.begin(), s.end(),
+            [](const RateStep& a, const RateStep& b) { return a.offset < b.offset; });
+  if (s.front().offset != sim::Duration::zero()) {
+    // The segment straddling the wrap point: whatever rate was active at
+    // old-time (period - shift) now covers offset zero.
+    s.insert(s.begin(),
+             {sim::Duration::zero(), rate_at(sim::Duration::micros(p - shift))});
+  }
+  return RateEnvelope{std::move(s), period_};
+}
+
 std::optional<sim::Duration> RateEnvelope::next_boundary_after(sim::Duration offset) const {
   if (steps_.empty()) return std::nullopt;
   if (offset < sim::Duration::zero()) return sim::Duration::zero();

@@ -145,6 +145,12 @@ class RateEnvelope {
   /// across client groups and session kinds).
   [[nodiscard]] RateEnvelope scaled(double k) const;
 
+  /// Same periodic shape phase-shifted by `phase` (antiphase diurnal
+  /// curves: clients in the other hemisphere peak half a period later).
+  /// Periodic envelopes only — an aperiodic shift would need to invent a
+  /// rate before the first step.
+  [[nodiscard]] RateEnvelope shifted(sim::Duration phase) const;
+
   /// Next boundary strictly after `offset` where the rate changes (step
   /// edges and period wraps); nullopt when the rate is constant from
   /// `offset` on.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "workload/arrivals.hpp"
+
 namespace mutsvc::workload {
 
 LoadGenerator::ClientSplit LoadGenerator::split_clients(double requests_per_second,
@@ -82,9 +84,13 @@ sim::Task<void> LoadGenerator::run_client(ClientGroupSpec spec, bool is_browser,
 
   while (sim_.now() < end_at) {
     auto script = is_browser ? spec.browser_factory() : spec.writer_factory();
-    sessions_.fetch_add(1, std::memory_order_relaxed);
+    // Session routing key: a mixed session ordinal, sticky for every page
+    // of this session. No RNG draw, so the request trajectory is untouched.
+    const std::uint64_t session_key =
+        SmallRng::mix(sessions_.fetch_add(1, std::memory_order_relaxed) + 1);
     while (auto req = script->next()) {
       if (sim_.now() >= end_at) co_return;
+      req->session_key = session_key;
       const sim::SimTime start = sim_.now();
       requests_.fetch_add(1, std::memory_order_relaxed);  // counted at issue time
       const RequestOutcome out = co_await executor_.execute(spec.client_node, *req);
@@ -114,6 +120,8 @@ sim::Task<void> LoadGenerator::run_open_arrivals(ClientGroupSpec spec, sim::SimT
   // that kind's next page, starting a fresh session when the script ends.
   std::unique_ptr<SessionScript> browser;
   std::unique_ptr<SessionScript> writer;
+  std::uint64_t browser_key = 0;
+  std::uint64_t writer_key = 0;
   bool browser_sterile = false;
   bool writer_sterile = false;
   while (true) {
@@ -136,9 +144,11 @@ sim::Task<void> LoadGenerator::run_open_arrivals(ClientGroupSpec spec, sim::SimT
         if (browser_sterile && writer_sterile) co_return;
         continue;
       }
-      sessions_.fetch_add(1, std::memory_order_relaxed);
+      (is_browser ? browser_key : writer_key) =
+          SmallRng::mix(sessions_.fetch_add(1, std::memory_order_relaxed) + 1);
       script = std::move(fresh);
     }
+    req->session_key = is_browser ? browser_key : writer_key;
     // Open loop: fire and move on — do not await the response. A request
     // in flight at end_at is already counted (issue-time counting) and its
     // outcome is recorded whenever the simulation runs the completion.

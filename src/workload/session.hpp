@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -20,6 +21,11 @@ struct PageRequest {
   std::vector<db::Value> args;
   net::Bytes request_bytes = 350;
   net::Bytes response_bytes = 6 * 1024;
+  /// Deterministic per-session routing key, sticky across every page of a
+  /// session (canary binding flips route whole sessions, never single
+  /// pages). 0 = unkeyed; stamped by the load drivers without consuming
+  /// any RNG draws, so pre-placement trajectories are untouched.
+  std::uint64_t session_key = 0;
 };
 
 /// A *service usage pattern* (§3.2): a frequently executed scenario of

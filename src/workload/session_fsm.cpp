@@ -162,6 +162,10 @@ void SessionFsmEngine::fire(std::uint32_t id) {
     return;
   }
   ++rec.step;
+  // Sticky routing key: a pure mix of the arena slot and the engine salt —
+  // no RNG draw, no extra record bytes. Slot reuse re-keys one-shot
+  // sessions only after the previous occupant fully left.
+  req->session_key = SmallRng::mix(static_cast<std::uint64_t>(id) ^ cfg_.session_salt);
   requests_.fetch_add(1, std::memory_order_relaxed);  // counted at issue time
   if (rec.step == 1) sessions_.fetch_add(1, std::memory_order_relaxed);
   sim_.spawn(issue(id, std::move(*req), sim_.now()));

@@ -83,6 +83,10 @@ class SessionFsmEngine {
     /// smaller peak event heap; the default keeps the heap near
     /// think_time/quantum-th of the fleet.
     sim::Duration calendar_quantum = sim::ms(100);
+    /// Salt mixed into each session's sticky routing key
+    /// (mix(id ^ salt), no RNG draw — the record stays 40 bytes and the
+    /// request trajectory is untouched).
+    std::uint64_t session_salt = 0;
   };
 
   SessionFsmEngine(sim::Simulator& sim, RequestExecutor& executor,

@@ -1,0 +1,226 @@
+// Migration × fault interaction battery (ISSUE 10): a live migration that
+// collides with a WAN cut, message loss, or a crash-restart of the target
+// must either complete or roll back *cleanly* — the old binding stays
+// authoritative, the target's pre-existing replica memberships and warm
+// cache survive, and no replica entry ever regresses to an older version.
+//
+// Regression coverage: the rollback path originally stripped the target's
+// replica memberships unconditionally, so a failed migration onto an edge
+// that legitimately held replicas *before* the migration (the ladder's
+// normal shape) would silently de-replicate that healthy site and wipe its
+// warm cache. Rollback now undoes only the memberships the migration itself
+// added; PartitionDuringTransfer asserts the pre-existing state survives.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/petstore/petstore.hpp"
+#include "cache/read_only_cache.hpp"
+#include "component/migration.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "net/faults.hpp"
+
+namespace mutsvc {
+namespace {
+
+using comp::MigrationRequest;
+
+const std::vector<std::string> kComponents{"Catalog"};
+const std::vector<std::string> kEntities{"Category", "Product", "Item", "Inventory"};
+
+[[nodiscard]] sim::Task<void> run_migration(comp::MigrationManager& m, MigrationRequest req, bool* out) {
+  const bool ok = co_await m.migrate(std::move(req));
+  if (out != nullptr) *out = ok;
+}
+
+core::ExperimentSpec base_spec() {
+  core::ExperimentSpec spec;
+  spec.level = core::ConfigLevel::kAsyncUpdates;
+  spec.duration = sim::sec(120);
+  spec.warmup = sim::sec(30);
+  spec.placement.enabled = true;
+  return spec;
+}
+
+/// Node handles of the testbed an Experiment with `base_spec()` will build.
+/// The topology is deterministic, so a throwaway construction (never run)
+/// yields the ids a FaultPlan needs before the real Experiment exists.
+core::TestbedNodes probe_nodes() {
+  apps::petstore::PetStoreApp app;
+  core::Experiment probe{app.driver(), base_spec(), core::petstore_calibration()};
+  return probe.nodes();
+}
+
+void schedule_migration(core::Experiment& exp, sim::Duration at, net::NodeId from,
+                        net::NodeId to, bool move_query_cache, bool* out) {
+  exp.simulator().schedule_at(
+      sim::SimTime::origin() + at, [&exp, from, to, move_query_cache, out] {
+        MigrationRequest req;
+        req.from = from;
+        req.to = to;
+        req.components = kComponents;
+        req.entities = kEntities;
+        req.move_query_cache = move_query_cache;
+        exp.simulator().spawn(run_migration(*exp.migrator(), std::move(req), out));
+      });
+}
+
+void expect_conservation(core::Experiment& exp) {
+  const auto& r = exp.results();
+  EXPECT_GT(exp.requests_issued(), 0u);
+  EXPECT_EQ(exp.requests_issued(),
+            r.total_samples() + r.failures() + r.discarded_samples() + exp.requests_in_flight())
+      << "issued=" << exp.requests_issued() << " samples=" << r.total_samples()
+      << " failures=" << r.failures() << " discarded=" << r.discarded_samples()
+      << " in_flight=" << exp.requests_in_flight();
+}
+
+TEST(MigrationFaultTest, PartitionDuringTransferRollsBackAndPreservesTargetState) {
+  // The *source* edge is partitioned off just before the migration (both
+  // its WAN link and its client LAN — a lone link cut would reroute
+  // through the clients' direct hub link), so the bulk state transfer
+  // edge0 -> edge1 has no route and the migration must roll back: binding
+  // untouched, gates reopened, and — the regression this test pins —
+  // edge1's pre-existing replica memberships, query cache, and warm
+  // entries all survive, with no entry regressing to an older version.
+  const core::TestbedNodes ids = probe_nodes();
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec = base_spec();
+  spec.fault_plan.partitions.push_back(
+      {{ids.edge_servers[0]}, sim::sec(58), sim::sec(15)});
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  const net::NodeId e0 = exp.nodes().edge_servers[0];
+  const net::NodeId e1 = exp.nodes().edge_servers[1];
+  ASSERT_EQ(e0, ids.edge_servers[0]);
+
+  bool ok = true;
+  schedule_migration(exp, sim::sec(60), e0, e1, /*move_query_cache=*/true, &ok);
+
+  // Capture edge1's warm replica state just before the doomed migration.
+  std::map<std::int64_t, std::uint64_t> pre_versions;
+  exp.simulator().schedule_at(sim::SimTime::origin() + sim::sec(59), [&] {
+    for (const auto& [pk, entry] : exp.runtime().ro_cache(e1, "Item").snapshot()) {
+      pre_versions[pk] = entry.version;
+    }
+  });
+
+  exp.run();
+
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(exp.migrator()->started(), 1u);
+  EXPECT_EQ(exp.migrator()->rolled_back(), 1u);
+  EXPECT_EQ(exp.migrator()->completed(), 0u);
+  EXPECT_FALSE(exp.migrator()->in_progress());
+
+  // Old binding stays authoritative: no flip ever became visible.
+  EXPECT_EQ(exp.bindings()->version("Catalog"), 0u);
+  EXPECT_EQ(exp.bindings()->flips(), 0u);
+  EXPECT_EQ(exp.runtime().forwarded_calls(), 0u);
+
+  // Regression: edge1 held these replicas *before* the migration; rollback
+  // must not strip the membership, drop its query cache, or wipe the warm
+  // entries.
+  for (const std::string& entity : kEntities) {
+    EXPECT_TRUE(exp.runtime().plan().has_ro_replica(entity, e1)) << entity;
+    EXPECT_TRUE(exp.runtime().plan().has_ro_replica(entity, e0)) << entity;
+  }
+  EXPECT_TRUE(exp.runtime().plan().has_query_cache(e1));
+  EXPECT_GT(pre_versions.size(), 0u);
+  std::size_t still_present = 0;
+  for (const auto& [pk, entry] : exp.runtime().ro_cache(e1, "Item").snapshot()) {
+    auto it = pre_versions.find(pk);
+    if (it == pre_versions.end()) continue;
+    ++still_present;
+    // Live pushes may have advanced an entry, but nothing regresses.
+    EXPECT_GE(entry.version, it->second) << "pk " << pk;
+  }
+  EXPECT_EQ(still_present, pre_versions.size());
+
+  // The run conserves every request even with the WAN cut (cut-off calls
+  // fail; they do not vanish).
+  expect_conservation(exp);
+  EXPECT_EQ(exp.runtime().late_stragglers(), 0u);
+}
+
+TEST(MigrationFaultTest, TotalLossDuringTransferRollsBack) {
+  // 100% message loss on the *target* edge's WAN link: the source's caches
+  // warm normally (so the transfer genuinely ships a snapshot), but the
+  // transfer RMI is lost crossing hub -> edge1 (a DeliveryError raised at
+  // the would-be delivery time) and the migration rolls back. Service on
+  // the unaffected islands keeps running and the run still conserves every
+  // request.
+  const core::TestbedNodes ids = probe_nodes();
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec = base_spec();
+  spec.fault_plan.link_loss.push_back({ids.edge_servers[1], ids.wan_hub, 1.0});
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  const net::NodeId e0 = exp.nodes().edge_servers[0];
+  const net::NodeId e1 = exp.nodes().edge_servers[1];
+
+  bool ok = true;
+  schedule_migration(exp, sim::sec(60), e0, e1, /*move_query_cache=*/false, &ok);
+  exp.run();
+
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(exp.migrator()->rolled_back(), 1u);
+  EXPECT_EQ(exp.migrator()->completed(), 0u);
+  EXPECT_EQ(exp.bindings()->version("Catalog"), 0u);
+  for (const std::string& entity : kEntities) {
+    EXPECT_TRUE(exp.runtime().plan().has_ro_replica(entity, e0)) << entity;
+    EXPECT_TRUE(exp.runtime().plan().has_ro_replica(entity, e1)) << entity;
+  }
+  expect_conservation(exp);
+  // The cut island's pages fail; the other two groups keep sampling.
+  EXPECT_GT(exp.results().total_samples(), 0u);
+  EXPECT_EQ(exp.runtime().late_stragglers(), 0u);
+}
+
+TEST(MigrationFaultTest, TargetCrashRollsBackThenRetrySucceeds) {
+  // The migration target crashes just before the transfer and restarts
+  // with cold caches. The first migration rolls back cleanly; a retry
+  // after the restart completes end to end, re-ships warm state, and
+  // retires the old site.
+  const core::TestbedNodes ids = probe_nodes();
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec = base_spec();
+  spec.duration = sim::sec(150);
+  spec.fault_plan.crashes.push_back({ids.edge_servers[1], sim::sec(59), sim::sec(8)});
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  const net::NodeId e0 = exp.nodes().edge_servers[0];
+  const net::NodeId e1 = exp.nodes().edge_servers[1];
+
+  bool first = true;
+  bool second = false;
+  schedule_migration(exp, sim::sec(60), e0, e1, /*move_query_cache=*/false, &first);
+  schedule_migration(exp, sim::sec(100), e0, e1, /*move_query_cache=*/false, &second);
+  exp.run();
+
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  EXPECT_EQ(exp.migrator()->started(), 2u);
+  EXPECT_EQ(exp.migrator()->rolled_back(), 1u);
+  EXPECT_EQ(exp.migrator()->completed(), 1u);
+  EXPECT_EQ(exp.migrator()->refused(), 0u);
+  ASSERT_NE(exp.fault_injector(), nullptr);
+  EXPECT_EQ(exp.fault_injector()->crashes(), 1u);
+  EXPECT_EQ(exp.fault_injector()->restarts(), 1u);
+
+  // The retry flipped the binding exactly once and moved the replica set.
+  EXPECT_EQ(exp.bindings()->version("Catalog"), 1u);
+  EXPECT_EQ(exp.bindings()->flips(), 1u);
+  EXPECT_GT(exp.migrator()->entries_transferred(), 0u);
+  for (const std::string& entity : kEntities) {
+    EXPECT_TRUE(exp.runtime().plan().has_ro_replica(entity, e1)) << entity;
+    EXPECT_FALSE(exp.runtime().plan().has_ro_replica(entity, e0)) << entity;
+  }
+
+  expect_conservation(exp);
+  EXPECT_EQ(exp.runtime().late_stragglers(), 0u);
+}
+
+}  // namespace
+}  // namespace mutsvc

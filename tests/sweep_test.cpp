@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -17,6 +18,8 @@
 
 #include "apps/petstore/petstore.hpp"
 #include "bench/table_common.hpp"
+#include "component/controller.hpp"
+#include "core/calibration.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
@@ -219,6 +222,90 @@ TEST(SweepDeterminism, LadderJsonIdenticalAcrossJobCountsIgnoringWallMetrics) {
   const std::string j8 = json_without_wall_lines("sweep_test_ladder_j8.json");
   EXPECT_FALSE(j1.empty());
   EXPECT_EQ(j1, j8);
+}
+
+// --- runtime-placement state is per-trial, never per-slot --------------------
+
+// A policy with *internal* state: it migrates the replica set away and back,
+// keyed off its own evaluation counter (not the snapshot's). If a sweep slot
+// ever reused one instance across trials — the regression this test pins, fixed
+// by constructing the controller and policy fresh per Experiment via the
+// PlacementConfig factory — the second trial would resume past the trigger
+// counts, fire no migrations, and its fingerprint would diverge.
+class ToggleTwicePolicy final : public comp::PlacementPolicy {
+ public:
+  explicit ToggleTwicePolicy(std::atomic<int>& instances) { instances.fetch_add(1); }
+
+  std::vector<comp::PlacementAction> decide(const comp::PlacementSnapshot& snap) override {
+    ++self_evals_;
+    if (self_evals_ != 2 && self_evals_ != 5) return {};
+    for (const auto& [edge, pages] : snap.edge_pages) {
+      if (edge != snap.replica_holder) {
+        comp::PlacementAction a;
+        a.kind = comp::PlacementAction::Kind::kMigrateReplicaSet;
+        a.from = snap.replica_holder;
+        a.to = edge;
+        return {a};
+      }
+    }
+    return {};
+  }
+
+ private:
+  int self_evals_ = 0;
+};
+
+std::string placement_trial(std::atomic<int>& instances) {
+  apps::petstore::PetStoreApp app;
+  core::ExperimentSpec spec;
+  spec.level = core::ConfigLevel::kAsyncUpdates;
+  spec.duration = sim::sec(120);
+  spec.warmup = sim::sec(30);
+  spec.placement.enabled = true;
+  spec.placement.components = {"Catalog"};
+  spec.placement.entities = {"Category", "Product", "Item", "Inventory"};
+  spec.placement.policy = [&instances] { return std::make_unique<ToggleTwicePolicy>(instances); };
+  core::Experiment exp{app.driver(), spec, core::petstore_calibration()};
+  // A fresh trial starts from a fresh binding table, always.
+  EXPECT_EQ(exp.bindings()->bound_components(), 0u);
+  EXPECT_EQ(exp.bindings()->flips(), 0u);
+  exp.run();
+
+  const comp::PlacementController* pc = exp.placement_controller();
+  EXPECT_NE(pc, nullptr);
+  std::ostringstream os;
+  os << "events=" << exp.simulator().executed_events()
+     << " samples=" << exp.results().total_samples()
+     << " failures=" << exp.results().failures() << " evals=" << pc->evaluations()
+     << " migrations=" << pc->migrations_completed() << " flips=" << exp.bindings()->flips()
+     << " version=" << exp.bindings()->version("Catalog") << " holder=" << pc->replica_holder();
+  for (const auto& rec : pc->actions()) {
+    os << " [" << rec.at.count_micros() << " " << rec.action.from << "->" << rec.action.to
+       << " done=" << rec.completed << " v=" << rec.binding_version << "]";
+  }
+  return os.str();
+}
+
+TEST(SweepDeterminism, PlacementStateIsFreshPerTrialUnderSlotReuse) {
+  std::atomic<int> instances{0};
+  const std::string reference = placement_trial(instances);
+  ASSERT_EQ(instances.load(), 1);
+  // The toggle policy really acted: two completed migrations, two flips.
+  EXPECT_NE(reference.find("migrations=2"), std::string::npos) << reference;
+  EXPECT_NE(reference.find("flips=2"), std::string::npos) << reference;
+
+  // Two more trials back-to-back on a single worker — the sweep-slot reuse
+  // shape. Each must construct its own policy instance and reproduce the
+  // reference fingerprint exactly.
+  std::vector<std::function<std::string()>> trials;
+  for (int i = 0; i < 2; ++i) {
+    trials.push_back([&instances] { return placement_trial(instances); });
+  }
+  const std::vector<std::string> out = core::sweep::run_trials(std::move(trials), 1);
+  EXPECT_EQ(instances.load(), 3);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], reference);
+  EXPECT_EQ(out[1], reference);
 }
 
 }  // namespace
